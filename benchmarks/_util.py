@@ -1,0 +1,27 @@
+"""Benchmark harness helpers.
+
+Every bench regenerates one paper figure (or an ablation), prints the
+rows the paper reports, and writes them to ``benchmarks/results/`` so
+the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+"""Ablation (extension): 3D stacking vs the paper's three technologies.
+
+The paper's summary points past 2.5D toward denser integration; this
+bench places a simple hybrid-bonded 3D stack on the same axes (cost and
+package footprint) as SoC/MCM/InFO/2.5D.
+"""
+
+from repro.core.re_cost import compute_re_cost
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.info import info
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.packaging.stacked3d import stacked_3d
+from repro.process.catalog import get_node
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+AREAS = (200.0, 400.0, 600.0, 800.0)
+
+
+def _run():
+    node = get_node("5nm")
+    rows = []
+    for area in AREAS:
+        soc_system = soc_reference(area, node)
+        entries = {
+            "SoC": (
+                compute_re_cost(soc_system).total,
+                soc_system.integration.package_area(soc_system.chip_areas),
+            )
+        }
+        for label, factory in (
+            ("MCM", mcm),
+            ("InFO", info),
+            ("2.5D", interposer_25d),
+            ("3D", stacked_3d),
+        ):
+            system = partition_monolith(area, node, 2, factory())
+            entries[label] = (
+                compute_re_cost(system).total,
+                system.integration.package_area(system.chip_areas),
+            )
+        rows.append((area, entries))
+    return rows
+
+
+def test_ablation_3d_stacking(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["area", "scheme", "RE/unit", "footprint mm^2"],
+        title="Ablation: 3D stacking vs 2D/2.5D (5nm, 2 chiplets)",
+    )
+    for area, entries in rows:
+        for scheme, (cost, footprint) in entries.items():
+            table.add_row([area, scheme, cost, footprint])
+    save_and_print("ablation_3d", table.render())
+
+    for _area, entries in rows:
+        # 3D has the smallest multi-chip footprint (one-die package)...
+        multi = {k: v for k, v in entries.items() if k != "SoC"}
+        assert min(multi, key=lambda k: multi[k][1]) == "3D"
+        # ...and costs more than the MCM (TSVs + stack-yield losses).
+        assert entries["3D"][0] > entries["MCM"][0]

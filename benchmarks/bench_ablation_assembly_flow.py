@@ -1,0 +1,58 @@
+"""Ablation: chip-first vs chip-last assembly (Eq. 5 and Section 3.2).
+
+The paper: "chip-last packaging is the priority selection for
+multi-chip systems" because chip-first wastes KGDs on carrier-fab
+losses.  This bench quantifies the gap for InFO and 2.5D across areas.
+"""
+
+from repro.core.re_cost import compute_re_cost
+from repro.explore.partition import partition_monolith
+from repro.packaging.assembly import AssemblyFlow
+from repro.packaging.info import info
+from repro.packaging.interposer import interposer_25d
+from repro.process.catalog import get_node
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+AREAS = (200.0, 400.0, 600.0, 800.0)
+
+
+def _run():
+    node = get_node("7nm")
+    rows = []
+    for label, factory in (("InFO", info), ("2.5D", interposer_25d)):
+        for area in AREAS:
+            last = compute_re_cost(
+                partition_monolith(
+                    area, node, 2, factory(flow=AssemblyFlow.CHIP_LAST)
+                )
+            )
+            first = compute_re_cost(
+                partition_monolith(
+                    area, node, 2, factory(flow=AssemblyFlow.CHIP_FIRST)
+                )
+            )
+            rows.append((label, area, last, first))
+    return rows
+
+
+def test_ablation_assembly_flow(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["tech", "area", "chip-last total", "chip-first total",
+         "chip-last KGD waste", "chip-first KGD waste", "penalty %"],
+        title="Ablation: chip-first vs chip-last (7nm, 2 chiplets)",
+    )
+    for label, area, last, first in rows:
+        penalty = (first.total / last.total - 1.0) * 100.0
+        table.add_row(
+            [label, area, last.total, first.total, last.wasted_kgd,
+             first.wasted_kgd, penalty]
+        )
+    save_and_print("ablation_assembly_flow", table.render())
+
+    for _label, _area, last, first in rows:
+        assert first.wasted_kgd > last.wasted_kgd
+        assert first.total >= last.total

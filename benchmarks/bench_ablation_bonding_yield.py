@@ -1,0 +1,49 @@
+"""Ablation: bonding-yield sensitivity of multi-chip packaging.
+
+The paper's packaging conclusions hinge on the bonding yields y2/y3;
+this bench sweeps them to show where the MCM advantage evaporates.
+"""
+
+from repro.core.re_cost import compute_re_cost
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+BOND_YIELDS = (0.999, 0.995, 0.99, 0.98, 0.95, 0.90)
+
+
+def _run():
+    node = get_node("5nm")
+    soc_total = compute_re_cost(soc_reference(800.0, node)).total
+    rows = []
+    for y2 in BOND_YIELDS:
+        system = partition_monolith(
+            800.0, node, 2, mcm(chip_attach_yield=y2)
+        )
+        re = compute_re_cost(system)
+        rows.append((y2, re, soc_total))
+    return rows
+
+
+def test_ablation_bonding_yield(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["chip-attach yield", "MCM total", "wasted KGD", "vs SoC"],
+        title="Ablation: bonding yield (5nm, 800 mm^2, 2 chiplets)",
+    )
+    for y2, re, soc_total in rows:
+        table.add_row([y2, re.total, re.wasted_kgd, re.total / soc_total])
+    save_and_print("ablation_bonding_yield", table.render())
+
+    # Waste grows monotonically as bonding yield degrades.
+    wastes = [re.wasted_kgd for _y2, re, _soc in rows]
+    assert wastes == sorted(wastes)
+    # At 99.9% bonding the MCM wins handily; the advantage shrinks
+    # monotonically as bonding degrades.
+    ratios = [re.total / soc for _y2, re, soc in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[0] < 1.0

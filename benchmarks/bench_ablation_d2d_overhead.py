@@ -1,0 +1,53 @@
+"""Ablation: D2D area-overhead fraction (the paper assumes 10%).
+
+Sweeps the D2D share of chiplet area and reports where partitioning
+stops paying at the RE level — the overhead knob Section 3.2 introduces.
+"""
+
+from repro.core.re_cost import compute_re_cost
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+FRACTIONS = (0.0, 0.05, 0.10, 0.15, 0.20, 0.30)
+
+
+def _run():
+    rows = []
+    for node_name in ("14nm", "5nm"):
+        node = get_node(node_name)
+        soc_total = compute_re_cost(soc_reference(800.0, node)).total
+        for fraction in FRACTIONS:
+            system = partition_monolith(
+                800.0, node, 2, mcm(), d2d_fraction=fraction
+            )
+            re = compute_re_cost(system)
+            rows.append((node_name, fraction, re.total, soc_total))
+    return rows
+
+
+def test_ablation_d2d_overhead(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["node", "D2D fraction", "MCM RE", "SoC RE", "MCM/SoC"],
+        title="Ablation: D2D overhead fraction (800 mm^2, 2 chiplets)",
+    )
+    for node_name, fraction, mcm_total, soc_total in rows:
+        table.add_row(
+            [node_name, fraction, mcm_total, soc_total, mcm_total / soc_total]
+        )
+    save_and_print("ablation_d2d_overhead", table.render())
+
+    # More D2D overhead always raises the multi-chip cost.
+    for node_name in ("14nm", "5nm"):
+        totals = [r[2] for r in rows if r[0] == node_name]
+        assert totals == sorted(totals)
+    # At 5nm the RE advantage survives 20% overhead but dies by 30%;
+    # at 14nm it is already gone at 15%.
+    by_point = {(r[0], r[1]): r[2] / r[3] for r in rows}
+    assert by_point[("5nm", 0.20)] < 1.0 < by_point[("5nm", 0.30)]
+    assert by_point[("14nm", 0.15)] > 1.0

@@ -1,0 +1,58 @@
+"""Ablation: defect-density learning (ramp maturity).
+
+The paper's AMD validation uses ramp-era densities (0.13 at 7 nm) and
+notes "as the yield of 7nm technology improves in recent years, the
+advantage is further smaller".  This bench replays the Fig. 5 headline
+along a learning curve.
+"""
+
+from repro.process.catalog import get_node
+from repro.process.defects import ramp_curve_for
+from repro.reporting.table import Table
+from repro.validate.amd import AMDConfig, compare_amd
+
+from _util import run_once, save_and_print
+
+QUARTERS = (0.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def _run():
+    base7 = get_node("7nm")
+    base12 = get_node("12nm")
+    curve7 = ramp_curve_for(base7, initial_density=0.13)
+    curve12 = ramp_curve_for(base12, initial_density=0.12)
+    rows = []
+    for quarter in QUARTERS:
+        config = AMDConfig(
+            compute_node=curve7.node_at(base7, quarter),
+            io_node=curve12.node_at(base12, quarter),
+        )
+        comparison = compare_amd(config)
+        flagship = comparison[-1]
+        rows.append(
+            (
+                quarter,
+                config.compute_node.defect_density,
+                flagship.die_cost_saving,
+                flagship.total_saving,
+            )
+        )
+    return rows
+
+
+def test_ablation_defect_learning(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["quarters into ramp", "7nm D0", "64c die saving", "64c total saving"],
+        title="Ablation: defect learning vs chiplet advantage (AMD setting)",
+    )
+    for quarter, density, die_saving, total_saving in rows:
+        table.add_row([quarter, density, die_saving, total_saving])
+    save_and_print("ablation_defect_learning", table.render())
+
+    # The paper: as yield improves the chiplet advantage shrinks.
+    savings = [row[2] for row in rows]
+    assert savings == sorted(savings, reverse=True)
+    # But it stays positive even at mature yields.
+    assert savings[-1] > 0.0

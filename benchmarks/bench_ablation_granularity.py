@@ -1,0 +1,45 @@
+"""Ablation: partition granularity (Section 4.1's marginal utility)."""
+
+from repro.explore.decide import granularity_marginal_utility
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+COUNTS = (1, 2, 3, 5, 8)
+
+
+def _run():
+    return {
+        node: granularity_marginal_utility(
+            800.0, get_node(node), mcm(), counts=COUNTS
+        )
+        for node in ("14nm", "7nm", "5nm")
+    }
+
+
+def test_ablation_granularity(benchmark):
+    results = run_once(benchmark, _run)
+
+    table = Table(
+        ["node", "step", "defect saving", "saving/RE", "RE delta"],
+        title="Ablation: marginal utility of finer partitions (800 mm^2, MCM)",
+    )
+    for node, steps in results.items():
+        for step in steps:
+            table.add_row(
+                [
+                    node,
+                    f"{step.from_chiplets}->{step.to_chiplets}",
+                    step.defect_saving,
+                    step.defect_saving_ratio,
+                    step.re_delta,
+                ]
+            )
+    save_and_print("ablation_granularity", table.render())
+
+    # Marginal utility decreases monotonically at every node.
+    for steps in results.values():
+        ratios = [step.defect_saving_ratio for step in steps]
+        assert ratios == sorted(ratios, reverse=True)

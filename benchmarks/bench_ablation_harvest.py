@@ -1,0 +1,62 @@
+"""Ablation (extension): die harvesting / binning.
+
+Quantifies how salvaging partially defective dies (AMD-style lower
+bins) changes the premium die's effective cost — and therefore how much
+of the monolithic die's yield problem binning can claw back before
+partitioning is needed.
+"""
+
+from repro.reporting.table import Table
+from repro.wafer.die import DieSpec, die_cost
+from repro.wafer.harvest import HarvestSpec, harvest_saving
+
+from _util import run_once, save_and_print
+
+POLICIES = (
+    ("none", HarvestSpec(0.0, 0.0)),
+    ("conservative", HarvestSpec(0.3, 0.5)),
+    ("typical", HarvestSpec(0.5, 0.6)),
+    ("aggressive", HarvestSpec(0.8, 0.7)),
+)
+AREAS = (200.0, 400.0, 600.0, 800.0)
+
+
+def _run():
+    rows = []
+    for node in ("7nm", "5nm"):
+        for area in AREAS:
+            spec = DieSpec.of(area, node)
+            base = die_cost(spec)
+            for label, policy in POLICIES:
+                rows.append(
+                    (
+                        node,
+                        area,
+                        label,
+                        base.die_yield,
+                        harvest_saving(spec, policy),
+                    )
+                )
+    return rows
+
+
+def test_ablation_harvest(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["node", "area", "policy", "die yield", "premium-die saving"],
+        title="Ablation: die-harvest policies vs premium die cost",
+    )
+    for node, area, label, die_yield, saving in rows:
+        table.add_row([node, area, label, die_yield, saving])
+    save_and_print("ablation_harvest", table.render())
+
+    # Harvesting always helps, helps more for bigger dies, and the
+    # 'none' policy is exactly zero.
+    for node, area, label, _y, saving in rows:
+        if label == "none":
+            assert saving == 0.0
+        else:
+            assert saving > 0.0
+    typical_7nm = [r[4] for r in rows if r[0] == "7nm" and r[2] == "typical"]
+    assert typical_7nm == sorted(typical_7nm)

@@ -1,0 +1,73 @@
+"""Ablation (extension): program-level SoC vs chiplet on a ramp.
+
+Replays the point-in-time Fig. 6 decision over an 8-quarter program
+with defect learning and wafer-price erosion: who wins on *program*
+cost, and how does the verdict move with ramp maturity at launch?
+"""
+
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.explore.roadmap import (
+    RoadmapAssumptions,
+    ramp_volumes,
+    roadmap_cost,
+)
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.process.defects import ramp_curve_for
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+LAUNCH_DENSITIES = (0.20, 0.15, 0.11)  # 5nm D0 at program start
+
+
+def _run():
+    node = get_node("5nm")
+    soc_system = soc_reference(800.0, node)
+    mcm_system = partition_monolith(800.0, node, 2, mcm())
+    rows = []
+    for d0 in LAUNCH_DENSITIES:
+        assumptions = RoadmapAssumptions(
+            periods=8,
+            volumes=ramp_volumes(4_000_000, 8),
+            learning={"5nm": ramp_curve_for(node, initial_density=d0)},
+            wafer_price_erosion=0.98,
+        )
+        soc_result = roadmap_cost(soc_system, assumptions)
+        mcm_result = roadmap_cost(mcm_system, assumptions)
+        rows.append((d0, soc_result, mcm_result))
+    return rows
+
+
+def test_ablation_roadmap(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["launch D0", "SoC program $M", "MCM program $M", "MCM saves",
+         "SoC avg/unit", "MCM avg/unit"],
+        title=(
+            "Ablation: 8-quarter program cost, 4M units, 5nm 800 mm^2 "
+            "(learning + 2%/q price erosion)"
+        ),
+    )
+    for d0, soc_result, mcm_result in rows:
+        table.add_row(
+            [
+                d0,
+                soc_result.program_cost / 1e6,
+                mcm_result.program_cost / 1e6,
+                1.0 - mcm_result.program_cost / soc_result.program_cost,
+                soc_result.average_unit_cost,
+                mcm_result.average_unit_cost,
+            ]
+        )
+    save_and_print("ablation_roadmap", table.render())
+
+    # The greener the process at launch, the bigger the chiplet win.
+    savings = [
+        1.0 - mcm_result.program_cost / soc_result.program_cost
+        for _d0, soc_result, mcm_result in rows
+    ]
+    assert savings == sorted(savings, reverse=True)
+    # At ramp-era defect density the chiplet program wins outright.
+    assert savings[0] > 0.0

@@ -1,0 +1,58 @@
+"""Ablation (extension): is test cost really negligible?
+
+The paper folds bumping/sort/package-test into other buckets "because
+they are not so significant".  This bench itemizes KGD-grade wafer sort
+and package test explicitly and measures their share.
+"""
+
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.packaging.testcost import compute_tested_re_cost
+from repro.process.catalog import get_node
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+
+def _run():
+    rows = []
+    for node_name in ("7nm", "5nm"):
+        node = get_node(node_name)
+        systems = [
+            ("SoC", soc_reference(800.0, node)),
+            ("MCM x2", partition_monolith(800.0, node, 2, mcm())),
+            ("MCM x5", partition_monolith(800.0, node, 5, mcm())),
+            ("2.5D x2", partition_monolith(800.0, node, 2, interposer_25d())),
+        ]
+        for label, system in systems:
+            tested = compute_tested_re_cost(system)
+            rows.append((node_name, label, tested))
+    return rows
+
+
+def test_ablation_test_cost(benchmark):
+    rows = run_once(benchmark, _run)
+
+    table = Table(
+        ["node", "design", "base RE", "wafer sort", "package test",
+         "test share"],
+        title="Ablation: explicit KGD test cost (800 mm^2)",
+    )
+    for node_name, label, tested in rows:
+        table.add_row(
+            [node_name, label, tested.base.total, tested.wafer_sort,
+             tested.package_test, tested.test_share]
+        )
+    save_and_print("ablation_testcost", table.render())
+
+    # The paper's assumption holds: test stays under 6% everywhere,
+    # but chiplet designs pay measurably more sort than the SoC.
+    for _node, _label, tested in rows:
+        assert tested.test_share < 0.06
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    for node_name in ("7nm", "5nm"):
+        assert (
+            by_key[(node_name, "MCM x5")].wafer_sort
+            > by_key[(node_name, "SoC")].wafer_sort
+        )

@@ -1,0 +1,36 @@
+"""Figure 1 (background data): integration-technology comparison.
+
+The paper's Figure 1 is a conceptual chart (after Synopsys 2020); this
+bench prints its quantitative annotations from the data table.
+"""
+
+from repro.data.integration import INTEGRATION_COMPARISON
+from repro.reporting.table import Table
+
+from _util import run_once, save_and_print
+
+
+def _build_table() -> str:
+    table = Table(
+        ["technology", "carrier", "Gbps/lane", "line space (um)",
+         "pin count", "cost rank"],
+        title="Fig. 1: multi-chip integration technologies",
+    )
+    for profile in INTEGRATION_COMPARISON:
+        table.add_row(
+            [
+                profile.name,
+                profile.carrier,
+                profile.data_rate_gbps,
+                profile.line_space_um,
+                profile.max_pin_count or "-",
+                profile.relative_cost_rank,
+            ]
+        )
+    return table.render()
+
+
+def test_fig01_integration_comparison(benchmark):
+    text = run_once(benchmark, _build_table)
+    save_and_print("fig01_integration_comparison", text)
+    assert "MCM" in text and "2.5D" in text

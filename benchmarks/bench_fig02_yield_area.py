@@ -1,0 +1,30 @@
+"""Figure 2: yield-area and normalized cost-area curves."""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.printers import render_fig2
+from repro.reporting.ascii_plot import line_chart
+
+from _util import run_once, save_and_print
+
+
+def test_fig02_yield_and_cost_curves(benchmark):
+    result = run_once(benchmark, run_fig2)
+
+    text = render_fig2(result)
+    chart = line_chart(
+        [float(x) for x in result.yield_figure.xs],
+        {
+            series.name.split()[0]: series.ys
+            for series in result.yield_figure.series
+        },
+        title="yield (%) vs area (mm^2)",
+    )
+    save_and_print("fig02_yield_area", text + "\n\n" + chart)
+
+    # Shape checks mirrored from the paper's Fig. 2.
+    yields_800 = {
+        series.name.split()[0]: series.ys[-1]
+        for series in result.yield_figure.series
+    }
+    assert yields_800["3nm"] < yields_800["5nm"] < yields_800["14nm"]
+    assert yields_800["rdl"] > yields_800["si"] > yields_800["5nm"]

@@ -1,0 +1,29 @@
+"""Figure 4: the 3x3 RE-cost grid (chiplet counts x nodes)."""
+
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.printers import render_fig4_panel
+
+from _util import run_once, save_and_print
+
+
+def test_fig04_re_cost_grid(benchmark):
+    panels = run_once(benchmark, run_fig4)
+
+    text = "\n\n".join(render_fig4_panel(panel) for panel in panels)
+    save_and_print("fig04_re_grid", text)
+
+    assert len(panels) == 9
+
+    # Shape checks quoted from the paper's Section 4.1.
+    p5 = next(p for p in panels if p.node == "5nm" and p.n_chiplets == 2)
+    soc800 = p5.cell(800, "SoC")
+    assert soc800.re.chip_defects / soc800.total > 0.50
+
+    # Benefits grow with area at every node.
+    for node in ("14nm", "7nm", "5nm"):
+        panel = next(p for p in panels if p.node == node and p.n_chiplets == 2)
+        gaps = [
+            panel.cell(area, "SoC").total - panel.cell(area, "MCM").total
+            for area in (300, 600, 900)
+        ]
+        assert gaps == sorted(gaps)

@@ -1,0 +1,33 @@
+"""Figure 5: AMD-style chiplet vs hypothetical monolithic validation."""
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.printers import render_fig5
+from repro.reporting.ascii_plot import stacked_bar_chart
+
+from _util import run_once, save_and_print
+
+
+def test_fig05_amd_validation(benchmark):
+    result = run_once(benchmark, run_fig5)
+
+    labels = []
+    die = []
+    pkg = []
+    for row in result.rows:
+        labels.append(f"{row.cores}c MCM")
+        die.append(row.mcm_die)
+        pkg.append(row.mcm_packaging)
+        labels.append(f"{row.cores}c mono")
+        die.append(row.mono_die)
+        pkg.append(row.mono_packaging)
+    chart = stacked_bar_chart(
+        labels,
+        {"die": die, "packaging": pkg},
+        title="Fig. 5 bars (normalized to 16-core monolithic)",
+    )
+    save_and_print("fig05_amd", render_fig5(result) + "\n\n" + chart)
+
+    # Headline claims.
+    assert result.max_die_cost_saving >= 0.50
+    for row in result.rows:
+        assert row.mcm_total < row.mono_total

@@ -1,0 +1,36 @@
+"""Figure 6: total cost structure of a single system + payback search."""
+
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.printers import render_fig6
+from repro.explore.decide import multichip_payback_quantity
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+
+from _util import run_once, save_and_print
+
+
+def test_fig06_total_cost_single_system(benchmark):
+    result = run_once(benchmark, run_fig6)
+
+    node = get_node("5nm")
+    payback = multichip_payback_quantity(
+        soc_reference(800.0, node),
+        partition_monolith(800.0, node, 2, mcm()),
+    )
+    text = render_fig6(result) + (
+        f"\n\n5nm 800 mm^2 2-chiplet MCM payback quantity: {payback:,.0f} "
+        "units (paper: ~2M)"
+    )
+    save_and_print("fig06_total_single", text)
+
+    # At 500k the SoC wins; at 10M the 5nm MCM wins (paper Section 4.2).
+    assert (
+        result.entry("5nm", 500_000.0, "MCM").total
+        > result.entry("5nm", 500_000.0, "SoC").total
+    )
+    assert (
+        result.entry("5nm", 10_000_000.0, "MCM").total
+        < result.entry("5nm", 10_000_000.0, "SoC").total
+    )
+    assert payback is not None and 1e6 <= payback <= 3e6

@@ -1,0 +1,20 @@
+"""Figure 8: SCMS reuse scheme bars."""
+
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.printers import render_fig8
+
+from _util import run_once, save_and_print
+
+
+def test_fig08_scms_reuse(benchmark):
+    result = run_once(benchmark, run_fig8)
+    save_and_print("fig08_scms", render_fig8(result))
+
+    # Quoted claims (wider bands asserted in tests/test_paper_claims.py).
+    soc4 = result.entry(4, "SoC")
+    mcm4 = result.entry(4, "MCM")
+    assert 1.0 - mcm4.nre.chips / soc4.nre.chips > 0.65  # ~3/4 saving
+
+    plain = result.entry(4, "MCM").nre.packages
+    reused = result.entry(4, "MCM+pkg").nre.packages
+    assert abs((1.0 - reused / plain) - 2.0 / 3.0) < 0.02  # exactly 2/3

@@ -1,0 +1,23 @@
+"""Figure 9: OCME reuse scheme bars."""
+
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.printers import render_fig9
+
+from _util import run_once, save_and_print
+
+
+def test_fig09_ocme_reuse(benchmark):
+    result = run_once(benchmark, run_fig9)
+    save_and_print("fig09_ocme", render_fig9(result))
+
+    # Heterogeneity saves >10% on every product; ~half for the single-C
+    # system (paper Section 5.2).
+    for label in result.labels():
+        reused = result.entry(label, "MCM+pkg").total
+        hetero = result.entry(label, "MCM+pkg+hetero").total
+        assert (reused - hetero) / reused > 0.10
+    c_saving = 1.0 - (
+        result.entry("C", "MCM+pkg+hetero").total
+        / result.entry("C", "MCM+pkg").total
+    )
+    assert 0.35 <= c_saving <= 0.55

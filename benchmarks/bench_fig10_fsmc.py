@@ -1,0 +1,26 @@
+"""Figure 10: FSMC reuse scheme — average cost vs reuse breadth."""
+
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.printers import render_fig10
+from repro.reporting.ascii_plot import bar_chart
+
+from _util import run_once, save_and_print
+
+
+def test_fig10_fsmc_reuse(benchmark):
+    result = run_once(benchmark, run_fig10)
+
+    labels = [
+        f"{entry.label} {entry.scheme}" for entry in result.entries
+    ]
+    totals = [entry.total for entry in result.entries]
+    chart = bar_chart(labels, totals, title="Fig. 10 average total cost")
+    save_and_print("fig10_fsmc", render_fig10(result) + "\n\n" + chart)
+
+    # Multi-chip NRE falls monotonically with reuse breadth; at the
+    # maximum-reuse point it is negligible (paper Section 5.3).
+    situations = result.situations()
+    mcm_nre = [result.entry(k, n, "MCM").avg_nre for (k, n) in situations]
+    assert mcm_nre == sorted(mcm_nre, reverse=True)
+    last = result.entry(*situations[-1], "MCM")
+    assert last.avg_nre / last.total < 0.10

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""AMD EPYC-style validation scenario (the paper's Figure 5).
+
+Prices a 16-64 core product line built from 7 nm CCDs around a 12 nm
+IO die, against hypothetical monolithic 7 nm SoCs, using ramp-era
+defect densities (0.13 / 0.12 per cm^2).
+
+Run:  python examples/amd_epyc.py
+"""
+
+from repro.reporting.table import Table
+from repro.validate.amd import AMDConfig, compare_amd
+
+
+def main() -> None:
+    config = AMDConfig()
+    print(
+        f"CCD: {config.ccd_area:.0f} mm^2 @ {config.compute_node.name} "
+        f"(D0={config.compute_node.defect_density}/cm^2), "
+        f"{config.cores_per_ccd} cores each"
+    )
+    print(
+        f"IOD: {config.iod_area:.0f} mm^2 @ {config.io_node.name} "
+        f"(D0={config.io_node.defect_density}/cm^2)"
+    )
+    print()
+
+    rows = compare_amd(config)
+    reference = rows[0].mono_re
+
+    table = Table(
+        ["cores", "chiplet cost", "monolithic cost", "mono die mm^2",
+         "die saving", "chiplet pkg share"],
+        title="EPYC-style product line (normalized to 16-core monolithic)",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.cores,
+                row.mcm_re / reference,
+                row.mono_re / reference,
+                row.mono_die_area,
+                f"{row.die_cost_saving:.0%}",
+                f"{row.mcm_packaging_share:.0%}",
+            ]
+        )
+    print(table.render())
+
+    best = max(rows, key=lambda r: r.die_cost_saving)
+    print(
+        f"\nMaximum die-cost saving: {best.die_cost_saving:.0%} at "
+        f"{best.cores} cores (the paper quotes 'up to 50%'; AMD's own "
+        "claim for the flagship is 'more than 2x')."
+    )
+    print(
+        "Note how the hypothetical monolithic die crosses the reticle "
+        "limit (858 mm^2) near the top of the product line — chiplets "
+        "are not just cheaper, they are the only way to build it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Program-level planning on a multi-quarter roadmap.
+
+A 5 nm, 800 mm^2 flagship ships 4M units over eight quarters while the
+process learns (D0: 0.15 -> 0.11) and wafer prices erode 2% per
+quarter.  The script compares the monolithic and 2-chiplet programs
+quarter by quarter — the decision the paper's Fig. 6 makes at a point,
+extended over a product's life.
+
+Run:  python examples/program_roadmap.py
+"""
+
+from repro import get_node, mcm
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.explore.roadmap import (
+    RoadmapAssumptions,
+    ramp_volumes,
+    roadmap_cost,
+)
+from repro.process.defects import ramp_curve_for
+from repro.reporting.table import Table
+
+
+def main() -> None:
+    node = get_node("5nm")
+    assumptions = RoadmapAssumptions(
+        periods=8,
+        volumes=ramp_volumes(4_000_000, 8),
+        learning={"5nm": ramp_curve_for(node, initial_density=0.15)},
+        wafer_price_erosion=0.98,
+    )
+
+    soc_system = soc_reference(800.0, node)
+    mcm_system = partition_monolith(800.0, node, 2, mcm())
+    soc_result = roadmap_cost(soc_system, assumptions)
+    mcm_result = roadmap_cost(mcm_system, assumptions)
+
+    table = Table(
+        ["quarter", "volume", "SoC RE/unit", "MCM RE/unit", "MCM saves"],
+        title="Quarter-by-quarter recurring cost",
+    )
+    for soc_period, mcm_period in zip(soc_result.periods, mcm_result.periods):
+        table.add_row(
+            [
+                f"Q{soc_period.period + 1}",
+                f"{soc_period.volume:,.0f}",
+                soc_period.re_per_unit,
+                mcm_period.re_per_unit,
+                f"{1 - mcm_period.re_per_unit / soc_period.re_per_unit:.1%}",
+            ]
+        )
+    print(table.render())
+
+    print("\nProgram totals (RE spend + one-time NRE):")
+    for result in (soc_result, mcm_result):
+        print(
+            f"  {result.system_name:22s} RE ${result.re_spend / 1e6:8.1f}M  "
+            f"NRE ${result.nre_total / 1e6:8.1f}M  "
+            f"program ${result.program_cost / 1e6:8.1f}M  "
+            f"(avg ${result.average_unit_cost:.0f}/unit)"
+        )
+
+    winner = (
+        "chiplet" if mcm_result.program_cost < soc_result.program_cost
+        else "monolithic"
+    )
+    print(
+        f"\nVerdict: the {winner} program is cheaper over the ramp. "
+        "Note how the chiplet's per-unit advantage is largest in early "
+        "quarters (poor yield) and shrinks as the process matures — "
+        "the paper's AMD observation, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: price a monolithic SoC against a 2-chiplet MCM.
+
+Builds an 800 mm^2 design at 5 nm, prices it both ways, itemizes the
+recurring cost the paper's way, and finds the production quantity at
+which the multi-chip version starts to pay back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FractionOverhead,
+    Module,
+    chiplet,
+    compute_re_cost,
+    compute_total_cost,
+    get_node,
+    mcm,
+    multichip,
+    multichip_payback_quantity,
+    soc,
+    soc_package,
+)
+
+
+def main() -> None:
+    n5 = get_node("5nm")
+
+    # --- Monolithic SoC: one 800 mm^2 die -----------------------------
+    compute = Module("compute", 800.0, n5)
+    monolithic = soc("soc-800", [compute], n5, soc_package(), quantity=500_000)
+
+    # --- 2-chiplet MCM: two halves, each with a 10% D2D interface -----
+    d2d = FractionOverhead(0.10)
+    half_a = chiplet("half-a", [Module("compute-a", 400.0, n5)], n5, d2d)
+    half_b = chiplet("half-b", [Module("compute-b", 400.0, n5)], n5, d2d)
+    multi = multichip("mcm-800", [half_a, half_b], mcm(), quantity=500_000)
+
+    print("=== Recurring cost per unit (USD) ===")
+    for system in (monolithic, multi):
+        re = compute_re_cost(system)
+        print(f"\n{system.name}:")
+        for component, value in re.as_dict().items():
+            print(f"  {component:18s} {value:10.2f}")
+        print(f"  {'TOTAL':18s} {re.total:10.2f}")
+
+    print("\n=== Total cost per unit (RE + amortized NRE) ===")
+    for quantity in (500_000, 2_000_000, 10_000_000):
+        soc_cost = compute_total_cost(monolithic, quantity).total
+        mcm_cost = compute_total_cost(multi, quantity).total
+        winner = "MCM" if mcm_cost < soc_cost else "SoC"
+        print(
+            f"  at {quantity:>10,} units:  SoC {soc_cost:8.0f}   "
+            f"MCM {mcm_cost:8.0f}   -> {winner} wins"
+        )
+
+    payback = multichip_payback_quantity(monolithic, multi)
+    print(f"\nMulti-chip pays back at ~{payback:,.0f} units (paper: ~2M).")
+
+
+if __name__ == "__main__":
+    main()

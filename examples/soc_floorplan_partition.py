@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Partitioning a realistic SoC floorplan into chiplets.
+
+The paper's Figure 4 splits a featureless area; real designs must place
+whole modules.  This script takes a phone/server-class floorplan (CPU
+clusters, GPU slices, NPU, media, modem, IO) and uses the LPT balancer
+to assign modules to chiplets, then prices every partition against the
+monolithic die — including a heterogeneous variant that leaves the
+analog-heavy IO module on 14 nm.
+
+Run:  python examples/soc_floorplan_partition.py
+"""
+
+from repro import (
+    Module,
+    compute_re_cost,
+    compute_total_cost,
+    get_node,
+    mcm,
+    soc_package,
+)
+from repro.explore.partition import soc_reference
+from repro.explore.uneven import balance_modules, partition_modules
+from repro.core.chip import Chip
+from repro.core.system import System, multichip
+from repro.d2d.overhead import FractionOverhead
+from repro.reporting.table import Table
+
+
+def main() -> None:
+    n5 = get_node("5nm")
+    n14 = get_node("14nm")
+    quantity = 5_000_000
+
+    floorplan = [
+        Module("cpu-cluster-0", 90.0, n5),
+        Module("cpu-cluster-1", 90.0, n5),
+        Module("gpu-slice-0", 120.0, n5),
+        Module("gpu-slice-1", 120.0, n5),
+        Module("npu", 80.0, n5),
+        Module("media-engine", 60.0, n5),
+        Module("modem", 70.0, n5),
+        Module("io-analog", 100.0, n5, scalable_fraction=0.2),
+    ]
+    total_area = sum(module.area for module in floorplan)
+    print(f"Floorplan: {len(floorplan)} modules, {total_area:.0f} mm^2 @ 5nm\n")
+
+    # Monolithic baseline.
+    mono_die = Chip.of("mono-die", tuple(floorplan), n5)
+    mono = System(
+        name="monolithic", chips=(mono_die,),
+        integration=soc_package(), quantity=quantity,
+    )
+
+    table = Table(
+        ["design", "chiplets", "worst die mm^2", "imbalance",
+         "RE/unit", "total/unit"],
+        title="Partition study (5M units)",
+    )
+    mono_re = compute_re_cost(mono)
+    table.add_row(
+        ["monolithic", 1, mono_die.area, 1.0, mono_re.total,
+         compute_total_cost(mono).total]
+    )
+
+    areas = [module.area for module in floorplan]
+    for k in (2, 3, 4):
+        assignment = balance_modules(areas, k)
+        system = partition_modules(
+            f"mcm-{k}", floorplan, n5, k, mcm(), quantity=quantity
+        )
+        re = compute_re_cost(system)
+        table.add_row(
+            [
+                f"balanced MCM",
+                k,
+                max(chip.area for chip in system.chips),
+                assignment.imbalance,
+                re.total,
+                compute_total_cost(system).total,
+            ]
+        )
+
+    # Heterogeneous 3-chiplet variant: two balanced compute chiplets on
+    # 5 nm, the analog-heavy IO module on a cheap 14 nm die.
+    d2d = FractionOverhead(0.10)
+    compute_modules = [m for m in floorplan if m.name != "io-analog"]
+    io_module = next(m for m in floorplan if m.name == "io-analog")
+    split = balance_modules([m.area for m in compute_modules], 2)
+    compute_chips = [
+        Chip.of(
+            f"compute-5nm-{index}",
+            tuple(compute_modules[i] for i in bin_indices),
+            n5,
+            d2d=d2d,
+        )
+        for index, bin_indices in enumerate(split.bins)
+    ]
+    io_chip = Chip.of("io-14nm", (io_module,), n14, d2d=d2d)
+    hetero = multichip(
+        "hetero-mcm", [*compute_chips, io_chip], mcm(), quantity=quantity
+    )
+    hetero_re = compute_re_cost(hetero)
+    table.add_row(
+        [
+            "hetero MCM (IO@14nm)",
+            3,
+            max(chip.area for chip in hetero.chips),
+            "-",
+            hetero_re.total,
+            compute_total_cost(hetero).total,
+        ]
+    )
+    print(table.render())
+
+    print(
+        "\nNotes: the balanced 2-3 way splits capture most of the yield "
+        "benefit (the paper's granularity takeaway), and moving the "
+        "barely-scaling IO module to 14 nm trades a slightly larger die "
+        "for a much cheaper wafer — the OCME heterogeneity argument on "
+        "a real floorplan."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment has no ``wheel`` package, so PEP 660
+editable installs fail; this file enables the legacy
+``pip install -e . --no-use-pep517`` path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

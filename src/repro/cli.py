@@ -1,0 +1,359 @@
+"""Command-line interface: ``chiplet-actuary`` (or ``python -m repro``).
+
+Subcommands::
+
+    nodes                     list the process-node catalog
+    cost                      price one system (SoC or partitioned)
+    compare                   rank integration schemes for a design point
+    payback                   multi-chip payback quantity
+    sweep                     RE cost vs area for every scheme (CSV-able)
+    montecarlo                cost distribution under defect uncertainty
+    figure {2,4,5,6,8,9,10}   regenerate a paper figure
+    portfolio FILE            report an externally-defined portfolio
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.re_cost import compute_re_cost
+from repro.core.total import compute_total_cost
+from repro.errors import ChipletActuaryError
+from repro.experiments import (
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+from repro.experiments.printers import (
+    render_fig2,
+    render_fig4_panel,
+    render_fig5,
+    render_fig6,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+)
+from repro.explore.decide import choose_integration, multichip_payback_quantity
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.info import info
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.process.catalog import NODES, get_node
+from repro.reporting.table import Table
+
+_INTEGRATIONS = {"mcm": mcm, "info": info, "2.5d": interposer_25d}
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--area", type=float, required=True,
+                        help="total module area in mm^2")
+    parser.add_argument("--node", default="7nm",
+                        help="process node (default: 7nm)")
+    parser.add_argument("--chiplets", type=int, default=2,
+                        help="number of equal chiplets (default: 2)")
+    parser.add_argument("--d2d", type=float, default=0.10,
+                        help="D2D fraction of chip area (default: 0.10)")
+    parser.add_argument("--quantity", type=float, default=500_000,
+                        help="production quantity (default: 500k)")
+
+
+def _cmd_nodes(_args: argparse.Namespace) -> int:
+    table = Table(
+        ["node", "D0 (/cm^2)", "c", "wafer ($)", "density (MTr/mm^2)",
+         "mask set ($M)", "kind"],
+        title="Process-node catalog",
+        precision=2,
+    )
+    for node in NODES.values():
+        table.add_row(
+            [
+                node.name,
+                node.defect_density,
+                node.cluster_param,
+                node.wafer_price,
+                node.transistor_density,
+                node.mask_set_cost / 1e6,
+                "packaging" if node.is_packaging_node else "logic",
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    node = get_node(args.node)
+    if args.integration == "soc":
+        system = soc_reference(args.area, node, quantity=args.quantity)
+    else:
+        system = partition_monolith(
+            args.area,
+            node,
+            args.chiplets,
+            _INTEGRATIONS[args.integration](),
+            d2d_fraction=args.d2d,
+            quantity=args.quantity,
+        )
+    re = compute_re_cost(system)
+    total = compute_total_cost(system)
+    table = Table(["component", "USD per unit"], title=f"Cost of {system.name}")
+    for name, value in re.as_dict().items():
+        table.add_row([f"RE {name}", value])
+    table.add_row(["RE total", re.total])
+    for name, value in total.amortized_nre.as_dict().items():
+        table.add_row([f"NRE {name} (amortized)", value])
+    table.add_row(["total per unit", total.total])
+    print(table.render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    node = get_node(args.node)
+    choices = choose_integration(
+        args.area,
+        node,
+        args.chiplets,
+        args.quantity,
+        [factory() for factory in _INTEGRATIONS.values()],
+        d2d_fraction=args.d2d,
+    )
+    table = Table(
+        ["rank", "scheme", "RE/unit", "NRE/unit", "total/unit"],
+        title=(
+            f"Integration ranking: {args.area:.0f} mm^2 @ {node.name}, "
+            f"{args.chiplets} chiplets, {args.quantity:.0f} units"
+        ),
+    )
+    for rank, choice in enumerate(choices, start=1):
+        table.add_row(
+            [rank, choice.label, choice.re_per_unit, choice.nre_per_unit,
+             choice.total_per_unit]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_payback(args: argparse.Namespace) -> int:
+    node = get_node(args.node)
+    soc_system = soc_reference(args.area, node)
+    multi = partition_monolith(
+        args.area,
+        node,
+        args.chiplets,
+        _INTEGRATIONS[args.integration](),
+        d2d_fraction=args.d2d,
+    )
+    quantity = multichip_payback_quantity(soc_system, multi)
+    if quantity is None:
+        print(
+            f"{args.integration.upper()} with {args.chiplets} chiplets never "
+            f"pays back against the monolithic SoC for this design point."
+        )
+    else:
+        print(
+            f"{args.integration.upper()} with {args.chiplets} chiplets pays "
+            f"back at a production quantity of ~{quantity:,.0f} units."
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.re_cost import compute_re_cost as re_cost
+    from repro.reporting.series import FigureData, Series
+
+    node = get_node(args.node)
+    areas = list(range(int(args.start), int(args.stop) + 1, int(args.step)))
+    columns: dict[str, list[float]] = {"SoC": []}
+    for area in areas:
+        columns["SoC"].append(re_cost(soc_reference(area, node)).total)
+    for label, factory in (("MCM", mcm), ("InFO", info), ("2.5D", interposer_25d)):
+        columns[label] = [
+            re_cost(
+                partition_monolith(
+                    area, node, args.chiplets, factory(),
+                    d2d_fraction=args.d2d,
+                )
+            ).total
+            for area in areas
+        ]
+    figure = FigureData(
+        title=f"RE cost vs area @ {node.name}",
+        x_label="area_mm2",
+        xs=tuple(areas),
+        series=tuple(Series.of(name, ys) for name, ys in columns.items()),
+    )
+    if args.csv:
+        print(figure.to_csv(), end="")
+    else:
+        table = Table(["area_mm2"] + list(columns), title=figure.title)
+        for index, area in enumerate(areas):
+            table.add_row([area] + [columns[name][index] for name in columns])
+        print(table.render())
+    return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.explore.montecarlo import monte_carlo_cost
+
+    node = get_node(args.node)
+    if args.integration == "soc":
+        system = soc_reference(args.area, node)
+    else:
+        system = partition_monolith(
+            args.area, node, args.chiplets, _INTEGRATIONS[args.integration](),
+            d2d_fraction=args.d2d,
+        )
+    distribution = monte_carlo_cost(
+        system, draws=args.draws, sigma=args.sigma, seed=args.seed
+    )
+    table = Table(
+        ["statistic", "RE USD/unit"],
+        title=(
+            f"Monte-Carlo RE cost of {system.name} "
+            f"({args.draws} draws, defect-density sigma {args.sigma:.0%})"
+        ),
+    )
+    table.add_row(["mean", distribution.mean])
+    table.add_row(["std", distribution.std])
+    for q in (0.05, 0.25, 0.50, 0.75, 0.95):
+        table.add_row([f"p{int(q * 100):02d}", distribution.quantile(q)])
+    print(table.render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    figure = args.id
+    if figure == 2:
+        print(render_fig2(run_fig2()))
+    elif figure == 4:
+        for panel in run_fig4():
+            print(render_fig4_panel(panel))
+            print()
+    elif figure == 5:
+        print(render_fig5(run_fig5()))
+    elif figure == 6:
+        print(render_fig6(run_fig6()))
+    elif figure == 8:
+        print(render_fig8(run_fig8()))
+    elif figure == 9:
+        print(render_fig9(run_fig9()))
+    elif figure == 10:
+        print(render_fig10(run_fig10()))
+    else:  # pragma: no cover - argparse choices guard this
+        raise ChipletActuaryError(f"unknown figure {figure}")
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.config import load_portfolio
+
+    portfolio = load_portfolio(args.file)
+    table = Table(
+        ["system", "quantity", "RE/unit", "NRE/unit", "total/unit"],
+        title=f"Portfolio report: {args.file}",
+    )
+    for system in portfolio.systems:
+        cost = portfolio.amortized_cost(system)
+        table.add_row(
+            [system.name, f"{system.quantity:.0f}", cost.re_total,
+             cost.nre_total, cost.total]
+        )
+    table.add_row(
+        ["(average)", f"{portfolio.total_quantity:.0f}", "", "",
+         portfolio.average_cost()]
+    )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="chiplet-actuary",
+        description="Chiplet Actuary cost model (DAC 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("nodes", help="list the process-node catalog")
+
+    cost = sub.add_parser("cost", help="price one system")
+    _add_design_arguments(cost)
+    cost.add_argument(
+        "--integration",
+        choices=["soc", "mcm", "info", "2.5d"],
+        default="soc",
+        help="integration scheme (default: soc)",
+    )
+
+    compare = sub.add_parser("compare", help="rank integration schemes")
+    _add_design_arguments(compare)
+
+    payback = sub.add_parser("payback", help="multi-chip payback quantity")
+    _add_design_arguments(payback)
+    payback.add_argument(
+        "--integration",
+        choices=["mcm", "info", "2.5d"],
+        default="mcm",
+        help="multi-chip scheme (default: mcm)",
+    )
+
+    sweep = sub.add_parser("sweep", help="RE cost vs area for every scheme")
+    sweep.add_argument("--node", default="7nm")
+    sweep.add_argument("--chiplets", type=int, default=2)
+    sweep.add_argument("--d2d", type=float, default=0.10)
+    sweep.add_argument("--start", type=float, default=100)
+    sweep.add_argument("--stop", type=float, default=900)
+    sweep.add_argument("--step", type=float, default=100)
+    sweep.add_argument("--csv", action="store_true",
+                       help="emit CSV instead of a table")
+
+    montecarlo = sub.add_parser(
+        "montecarlo", help="cost distribution under defect uncertainty"
+    )
+    _add_design_arguments(montecarlo)
+    montecarlo.add_argument(
+        "--integration",
+        choices=["soc", "mcm", "info", "2.5d"],
+        default="soc",
+    )
+    montecarlo.add_argument("--draws", type=int, default=500)
+    montecarlo.add_argument("--sigma", type=float, default=0.15)
+    montecarlo.add_argument("--seed", type=int, default=0)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("id", type=int, choices=[2, 4, 5, 6, 8, 9, 10])
+
+    portfolio = sub.add_parser("portfolio", help="report a portfolio JSON")
+    portfolio.add_argument("file", help="path to a portfolio JSON document")
+
+    return parser
+
+
+_COMMANDS = {
+    "nodes": _cmd_nodes,
+    "cost": _cmd_cost,
+    "compare": _cmd_compare,
+    "payback": _cmd_payback,
+    "sweep": _cmd_sweep,
+    "montecarlo": _cmd_montecarlo,
+    "figure": _cmd_figure,
+    "portfolio": _cmd_portfolio,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ChipletActuaryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

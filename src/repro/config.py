@@ -1,0 +1,261 @@
+"""JSON round-trip for systems and portfolios.
+
+Serialization preserves *sharing*: modules, chips and package designs
+are written once into top-level pools and referenced by id, so a
+deserialized portfolio amortizes NRE exactly like the original.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "modules":  {"m0": {"name": ..., "area": ..., "node": "7nm",
+                           "scalable_fraction": 1.0}},
+      "chips":    {"c0": {"name": ..., "modules": ["m0", "m0"],
+                           "node": "7nm", "d2d_fraction": 0.1}},
+      "packages": {"p0": {"name": ..., "integration": "mcm",
+                           "socket_areas": [222.2, 222.2]}},
+      "systems":  [{"name": ..., "chips": ["c0", "c0"],
+                     "integration": "mcm", "quantity": 500000.0,
+                     "package": "p0"}]
+    }
+
+Only catalog nodes and default-parameter integration technologies are
+serializable; custom node or packaging objects need code, not config.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.package_design import PackageDesign
+from repro.core.system import System
+from repro.d2d.overhead import NO_OVERHEAD, FractionOverhead
+from repro.errors import ConfigError
+from repro.packaging.base import IntegrationTech
+from repro.packaging.info import info
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.packaging.soc import soc_package
+from repro.process.catalog import NODES, get_node
+from repro.reuse.portfolio import Portfolio
+
+FORMAT_VERSION = 1
+
+_INTEGRATION_FACTORIES = {
+    "soc": soc_package,
+    "mcm": mcm,
+    "info": info,
+    "2.5d": interposer_25d,
+}
+
+
+def _d2d_fraction(chip: Chip) -> float:
+    if chip.d2d is NO_OVERHEAD or not chip.is_chiplet:
+        return 0.0
+    if isinstance(chip.d2d, FractionOverhead):
+        return chip.d2d.fraction
+    raise ConfigError(
+        f"chip {chip.name!r}: only FractionOverhead D2D policies are "
+        "serializable"
+    )
+
+
+class _Pools:
+    """Identity-preserving object pools for serialization."""
+
+    def __init__(self) -> None:
+        self.modules: dict[int, str] = {}
+        self.chips: dict[int, str] = {}
+        self.packages: dict[int, str] = {}
+        self.module_payload: dict[str, dict[str, Any]] = {}
+        self.chip_payload: dict[str, dict[str, Any]] = {}
+        self.package_payload: dict[str, dict[str, Any]] = {}
+
+    def module_ref(self, module: Module) -> str:
+        key = id(module)
+        if key not in self.modules:
+            ref = f"m{len(self.modules)}"
+            self.modules[key] = ref
+            if module.node.name not in NODES:
+                raise ConfigError(
+                    f"module {module.name!r}: node {module.node.name!r} is "
+                    "not a catalog node"
+                )
+            self.module_payload[ref] = {
+                "name": module.name,
+                "area": module.area,
+                "node": module.node.name,
+                "scalable_fraction": module.scalable_fraction,
+            }
+        return self.modules[key]
+
+    def chip_ref(self, chip: Chip) -> str:
+        key = id(chip)
+        if key not in self.chips:
+            ref = f"c{len(self.chips)}"
+            self.chips[key] = ref
+            if chip.node.name not in NODES:
+                raise ConfigError(
+                    f"chip {chip.name!r}: node {chip.node.name!r} is not a "
+                    "catalog node"
+                )
+            self.chip_payload[ref] = {
+                "name": chip.name,
+                "modules": [self.module_ref(m) for m in chip.modules],
+                "node": chip.node.name,
+                "d2d_fraction": _d2d_fraction(chip),
+            }
+        return self.chips[key]
+
+    def package_ref(self, package: PackageDesign) -> str:
+        key = id(package)
+        if key not in self.packages:
+            ref = f"p{len(self.packages)}"
+            self.packages[key] = ref
+            self.package_payload[ref] = {
+                "name": package.name,
+                "integration": _integration_name(package.integration),
+                "socket_areas": list(package.socket_areas),
+            }
+        return self.packages[key]
+
+
+def _integration_name(integration: IntegrationTech) -> str:
+    if integration.name not in _INTEGRATION_FACTORIES:
+        raise ConfigError(
+            f"integration {integration.name!r} is not serializable"
+        )
+    return integration.name
+
+
+def portfolio_to_dict(portfolio: Portfolio) -> dict[str, Any]:
+    """Serialize a portfolio (or use :func:`system_to_dict` for one system)."""
+    pools = _Pools()
+    systems = []
+    for system in portfolio.systems:
+        payload: dict[str, Any] = {
+            "name": system.name,
+            "chips": [pools.chip_ref(chip) for chip in system.chips],
+            "integration": _integration_name(system.integration),
+            "quantity": system.quantity,
+        }
+        if system.package is not None:
+            payload["package"] = pools.package_ref(system.package)
+        systems.append(payload)
+    return {
+        "version": FORMAT_VERSION,
+        "modules": pools.module_payload,
+        "chips": pools.chip_payload,
+        "packages": pools.package_payload,
+        "systems": systems,
+    }
+
+
+def system_to_dict(system: System) -> dict[str, Any]:
+    """Serialize one system (a one-element portfolio document)."""
+    return portfolio_to_dict(Portfolio([system]))
+
+
+def _require(payload: dict[str, Any], key: str, context: str) -> Any:
+    if key not in payload:
+        raise ConfigError(f"{context}: missing key {key!r}")
+    return payload[key]
+
+
+def portfolio_from_dict(document: dict[str, Any]) -> Portfolio:
+    """Rebuild a portfolio, restoring object sharing."""
+    version = document.get("version")
+    if version != FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported config version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+
+    modules: dict[str, Module] = {}
+    for ref, payload in _require(document, "modules", "document").items():
+        modules[ref] = Module(
+            name=_require(payload, "name", f"module {ref}"),
+            area=float(_require(payload, "area", f"module {ref}")),
+            node=get_node(_require(payload, "node", f"module {ref}")),
+            scalable_fraction=float(payload.get("scalable_fraction", 1.0)),
+        )
+
+    chips: dict[str, Chip] = {}
+    for ref, payload in _require(document, "chips", "document").items():
+        module_refs = _require(payload, "modules", f"chip {ref}")
+        try:
+            chip_modules = tuple(modules[m] for m in module_refs)
+        except KeyError as missing:
+            raise ConfigError(f"chip {ref}: unknown module {missing}") from None
+        fraction = float(payload.get("d2d_fraction", 0.0))
+        chips[ref] = Chip(
+            name=_require(payload, "name", f"chip {ref}"),
+            modules=chip_modules,
+            node=get_node(_require(payload, "node", f"chip {ref}")),
+            d2d=FractionOverhead(fraction) if fraction > 0 else NO_OVERHEAD,
+        )
+
+    integrations: dict[str, IntegrationTech] = {}
+
+    def integration_for(name: str) -> IntegrationTech:
+        if name not in _INTEGRATION_FACTORIES:
+            raise ConfigError(f"unknown integration {name!r}")
+        if name not in integrations:
+            integrations[name] = _INTEGRATION_FACTORIES[name]()
+        return integrations[name]
+
+    packages: dict[str, PackageDesign] = {}
+    for ref, payload in document.get("packages", {}).items():
+        packages[ref] = PackageDesign(
+            name=_require(payload, "name", f"package {ref}"),
+            integration=integration_for(
+                _require(payload, "integration", f"package {ref}")
+            ),
+            socket_areas=tuple(
+                float(a)
+                for a in _require(payload, "socket_areas", f"package {ref}")
+            ),
+        )
+
+    systems = []
+    for payload in _require(document, "systems", "document"):
+        name = _require(payload, "name", "system")
+        chip_refs = _require(payload, "chips", f"system {name}")
+        try:
+            system_chips = tuple(chips[c] for c in chip_refs)
+        except KeyError as missing:
+            raise ConfigError(f"system {name}: unknown chip {missing}") from None
+        package_ref = payload.get("package")
+        if package_ref is not None and package_ref not in packages:
+            raise ConfigError(f"system {name}: unknown package {package_ref!r}")
+        systems.append(
+            System(
+                name=name,
+                chips=system_chips,
+                integration=integration_for(
+                    _require(payload, "integration", f"system {name}")
+                ),
+                quantity=float(payload.get("quantity", 1.0)),
+                package=packages.get(package_ref) if package_ref else None,
+            )
+        )
+    return Portfolio(systems)
+
+
+def save_portfolio(portfolio: Portfolio, path: str) -> None:
+    """Write a portfolio to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(portfolio_to_dict(portfolio), handle, indent=2)
+
+
+def load_portfolio(path: str) -> Portfolio:
+    """Read a portfolio from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"{path}: invalid JSON ({error})") from None
+    return portfolio_from_dict(document)

@@ -1,0 +1,36 @@
+"""The Chiplet Actuary cost model proper.
+
+Module / Chip / System abstraction (Eq. 3), RE cost (Fig. 4 itemization,
+Eqs. 4-5), NRE cost (Eqs. 6-8), amortization over production quantity,
+and total-cost assembly.
+"""
+
+from repro.core.module import Module, D2D_MODULE_NAME
+from repro.core.chip import Chip
+from repro.core.system import System, soc, multichip
+from repro.core.package_design import PackageDesign
+from repro.core.breakdown import RECost, ChipREDetail, NRECost, TotalCost
+from repro.core.re_cost import compute_re_cost, chip_kgd_cost
+from repro.core.nre_cost import compute_system_nre
+from repro.core.amortize import amortize, amortized_unit_nre
+from repro.core.total import compute_total_cost
+
+__all__ = [
+    "Module",
+    "D2D_MODULE_NAME",
+    "Chip",
+    "System",
+    "soc",
+    "multichip",
+    "PackageDesign",
+    "RECost",
+    "ChipREDetail",
+    "NRECost",
+    "TotalCost",
+    "compute_re_cost",
+    "chip_kgd_cost",
+    "compute_system_nre",
+    "amortize",
+    "amortized_unit_nre",
+    "compute_total_cost",
+]

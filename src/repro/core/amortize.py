@@ -1,0 +1,29 @@
+"""NRE amortization over production quantity.
+
+The paper's rule: "if the production quantity is small, the NRE cost is
+dominant; otherwise, the NRE cost is negligible if the quantity is large
+enough."  Per-unit NRE is simply NRE / quantity; portfolio-level sharing
+(the same chip or package amortized across several systems) lives in
+``repro.reuse.portfolio``.
+"""
+
+from __future__ import annotations
+
+from repro.core.breakdown import NRECost
+from repro.errors import InvalidParameterError
+
+
+def amortize(nre_total: float, quantity: float) -> float:
+    """Per-unit share of a one-time cost over ``quantity`` units."""
+    if quantity <= 0:
+        raise InvalidParameterError(f"quantity must be > 0, got {quantity}")
+    if nre_total < 0:
+        raise InvalidParameterError(f"NRE must be >= 0, got {nre_total}")
+    return nre_total / quantity
+
+
+def amortized_unit_nre(nre: NRECost, quantity: float) -> NRECost:
+    """Component-wise per-unit NRE for a single-system design."""
+    if quantity <= 0:
+        raise InvalidParameterError(f"quantity must be > 0, got {quantity}")
+    return nre.scaled(1.0 / quantity)

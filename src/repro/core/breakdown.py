@@ -1,0 +1,216 @@
+"""Cost breakdown containers.
+
+The paper itemizes RE cost five ways (Fig. 4): raw chips, chip defects,
+raw package, package defects, wasted KGD; and NRE cost four ways
+(Fig. 6): modules, chips, packages, D2D.  These containers carry the
+itemization, support scaling/normalization/addition, and render to rows
+for the reporting layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import InvalidParameterError
+
+#: Order of RE components everywhere in the library (Fig. 4 legend order).
+RE_COMPONENTS = (
+    "raw_chips",
+    "chip_defects",
+    "raw_package",
+    "package_defects",
+    "wasted_kgd",
+)
+
+#: Order of NRE components (Fig. 6 legend order).
+NRE_COMPONENTS = ("modules", "chips", "packages", "d2d")
+
+
+@dataclass(frozen=True)
+class ChipREDetail:
+    """Per-chip recurring cost detail (USD per system unit).
+
+    ``unit_*`` figures are for one chip instance; the chip appears
+    ``count`` times in the system.
+    """
+
+    chip_name: str
+    count: int
+    unit_raw: float
+    unit_defect: float
+    die_yield: float
+
+    @property
+    def unit_total(self) -> float:
+        return self.unit_raw + self.unit_defect
+
+    @property
+    def raw(self) -> float:
+        return self.unit_raw * self.count
+
+    @property
+    def defect(self) -> float:
+        return self.unit_defect * self.count
+
+    @property
+    def total(self) -> float:
+        return self.raw + self.defect
+
+
+@dataclass(frozen=True)
+class RECost:
+    """Recurring cost of one system unit, itemized (USD)."""
+
+    raw_chips: float
+    chip_defects: float
+    raw_package: float
+    package_defects: float
+    wasted_kgd: float
+    chip_details: tuple[ChipREDetail, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name in RE_COMPONENTS:
+            if getattr(self, name) < 0:
+                raise InvalidParameterError(f"RE component {name} must be >= 0")
+
+    @property
+    def chips_total(self) -> float:
+        """Known-good-die cost: raw + defects."""
+        return self.raw_chips + self.chip_defects
+
+    @property
+    def packaging_total(self) -> float:
+        """The paper's "cost of packaging": raw package + package
+        defects + wasted KGD (Fig. 5 footnote)."""
+        return self.raw_package + self.package_defects + self.wasted_kgd
+
+    @property
+    def total(self) -> float:
+        return self.chips_total + self.packaging_total
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in RE_COMPONENTS}
+
+    def scaled(self, factor: float) -> "RECost":
+        """Component-wise scaling; used for normalization."""
+        details = tuple(
+            replace(
+                detail,
+                unit_raw=detail.unit_raw * factor,
+                unit_defect=detail.unit_defect * factor,
+            )
+            for detail in self.chip_details
+        )
+        return RECost(
+            raw_chips=self.raw_chips * factor,
+            chip_defects=self.chip_defects * factor,
+            raw_package=self.raw_package * factor,
+            package_defects=self.package_defects * factor,
+            wasted_kgd=self.wasted_kgd * factor,
+            chip_details=details,
+        )
+
+    def normalized_to(self, reference: float) -> "RECost":
+        """Express every component as a multiple of ``reference``."""
+        if reference <= 0:
+            raise InvalidParameterError(
+                f"normalization reference must be > 0, got {reference}"
+            )
+        return self.scaled(1.0 / reference)
+
+    def __add__(self, other: "RECost") -> "RECost":
+        return RECost(
+            raw_chips=self.raw_chips + other.raw_chips,
+            chip_defects=self.chip_defects + other.chip_defects,
+            raw_package=self.raw_package + other.raw_package,
+            package_defects=self.package_defects + other.package_defects,
+            wasted_kgd=self.wasted_kgd + other.wasted_kgd,
+            chip_details=self.chip_details + other.chip_details,
+        )
+
+
+@dataclass(frozen=True)
+class NRECost:
+    """One-time cost of a design, itemized (USD).
+
+    ``modules`` is the sum of Km*Sm over distinct modules; ``chips`` the
+    sum of (Kc*Sc + C) over distinct chips; ``packages`` the Kp*Sp + Cp
+    term; ``d2d`` the per-node D2D interface design cost.
+    """
+
+    modules: float
+    chips: float
+    packages: float
+    d2d: float
+
+    def __post_init__(self) -> None:
+        for name in NRE_COMPONENTS:
+            if getattr(self, name) < 0:
+                raise InvalidParameterError(
+                    f"NRE component {name} must be >= 0"
+                )
+
+    @property
+    def total(self) -> float:
+        return self.modules + self.chips + self.packages + self.d2d
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in NRE_COMPONENTS}
+
+    def scaled(self, factor: float) -> "NRECost":
+        return NRECost(
+            modules=self.modules * factor,
+            chips=self.chips * factor,
+            packages=self.packages * factor,
+            d2d=self.d2d * factor,
+        )
+
+    def __add__(self, other: "NRECost") -> "NRECost":
+        return NRECost(
+            modules=self.modules + other.modules,
+            chips=self.chips + other.chips,
+            packages=self.packages + other.packages,
+            d2d=self.d2d + other.d2d,
+        )
+
+
+@dataclass(frozen=True)
+class TotalCost:
+    """Per-unit engineering cost: RE plus amortized NRE (USD/unit)."""
+
+    re: RECost
+    amortized_nre: NRECost
+    quantity: float
+
+    @property
+    def re_total(self) -> float:
+        return self.re.total
+
+    @property
+    def nre_total(self) -> float:
+        return self.amortized_nre.total
+
+    @property
+    def total(self) -> float:
+        return self.re_total + self.nre_total
+
+    @property
+    def re_share(self) -> float:
+        """Fraction of per-unit cost that is recurring (Fig. 6 labels)."""
+        if self.total == 0:
+            return 0.0
+        return self.re_total / self.total
+
+    def scaled(self, factor: float) -> "TotalCost":
+        return TotalCost(
+            re=self.re.scaled(factor),
+            amortized_nre=self.amortized_nre.scaled(factor),
+            quantity=self.quantity,
+        )
+
+    def normalized_to(self, reference: float) -> "TotalCost":
+        if reference <= 0:
+            raise InvalidParameterError(
+                f"normalization reference must be > 0, got {reference}"
+            )
+        return self.scaled(1.0 / reference)

@@ -1,0 +1,27 @@
+"""Total per-unit cost: RE plus amortized NRE for one system.
+
+This is the single-system view used by the paper's Section 4.2 (Fig. 6):
+the system owns all of its NRE and amortizes it over its own quantity.
+For portfolios with reuse, see ``repro.reuse.portfolio``.
+"""
+
+from __future__ import annotations
+
+from repro.core.amortize import amortized_unit_nre
+from repro.core.breakdown import TotalCost
+from repro.core.nre_cost import compute_system_nre
+from repro.core.re_cost import compute_re_cost
+from repro.core.system import System
+
+
+def compute_total_cost(system: System, quantity: float | None = None) -> TotalCost:
+    """Per-unit total cost of a standalone system.
+
+    Args:
+        system: The system to price.
+        quantity: Production quantity; defaults to ``system.quantity``.
+    """
+    qty = system.quantity if quantity is None else quantity
+    re = compute_re_cost(system)
+    nre = compute_system_nre(system)
+    return TotalCost(re=re, amortized_nre=amortized_unit_nre(nre, qty), quantity=qty)

@@ -1,0 +1,13 @@
+"""Die-to-die (D2D) interface modeling."""
+
+from repro.d2d.interface import D2DInterface, D2D_CATALOG, interface_for
+from repro.d2d.overhead import D2DOverhead, FractionOverhead, BandwidthOverhead
+
+__all__ = [
+    "D2DInterface",
+    "D2D_CATALOG",
+    "interface_for",
+    "D2DOverhead",
+    "FractionOverhead",
+    "BandwidthOverhead",
+]

@@ -1,0 +1,91 @@
+"""D2D interface catalog.
+
+The paper models the D2D interface as "a particular module shared by all
+chiplets" whose area is a percentage of the chip.  For studies that want
+to *derive* that percentage, this module provides PHY profiles with
+bandwidth density (GB/s per mm^2 of PHY area) in the spirit of the ODSA
+wiki data the paper cites: organic-substrate links use long-reach SerDes
+(low density), fan-out and interposer links use short-reach parallel
+interfaces (high density, more lanes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class D2DInterface:
+    """One D2D PHY profile.
+
+    Attributes:
+        name: Catalog key.
+        carrier: Which integration technology the PHY targets.
+        bandwidth_density: Deliverable bandwidth per PHY area, GB/s per mm^2.
+        energy_pj_per_bit: Transfer energy (informational; the cost model
+            does not price power).
+        reach_mm: Maximum trace length.
+    """
+
+    name: str
+    carrier: str
+    bandwidth_density: float
+    energy_pj_per_bit: float
+    reach_mm: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_density <= 0:
+            raise InvalidParameterError("bandwidth density must be > 0")
+        if self.energy_pj_per_bit < 0:
+            raise InvalidParameterError("energy must be >= 0")
+        if self.reach_mm <= 0:
+            raise InvalidParameterError("reach must be > 0")
+
+    def phy_area(self, bandwidth_gbps: float) -> float:
+        """PHY area in mm^2 needed to carry ``bandwidth_gbps`` GB/s."""
+        if bandwidth_gbps < 0:
+            raise InvalidParameterError("bandwidth must be >= 0")
+        return bandwidth_gbps / self.bandwidth_density
+
+
+# Representative profiles assembled from ODSA / HIR-class public data.
+# Only ratios matter to the cost model; absolute numbers are indicative.
+D2D_CATALOG: dict[str, D2DInterface] = {
+    # Extra-short-reach SerDes over organic substrate (MCM).
+    "serdes-xsr": D2DInterface(
+        name="serdes-xsr",
+        carrier="mcm",
+        bandwidth_density=50.0,
+        energy_pj_per_bit=1.5,
+        reach_mm=50.0,
+    ),
+    # Parallel interface over fan-out RDL (InFO-class).
+    "parallel-fanout": D2DInterface(
+        name="parallel-fanout",
+        carrier="info",
+        bandwidth_density=200.0,
+        energy_pj_per_bit=0.7,
+        reach_mm=10.0,
+    ),
+    # Parallel interface over silicon interposer (AIB/UCIe-advanced-class).
+    "parallel-interposer": D2DInterface(
+        name="parallel-interposer",
+        carrier="interposer",
+        bandwidth_density=500.0,
+        energy_pj_per_bit=0.4,
+        reach_mm=3.0,
+    ),
+}
+
+
+def interface_for(carrier: str) -> D2DInterface:
+    """Default PHY profile for an integration technology."""
+    for profile in D2D_CATALOG.values():
+        if profile.carrier == carrier:
+            return profile
+    raise InvalidParameterError(
+        f"no D2D profile for carrier {carrier!r}; "
+        f"known carriers: {sorted({p.carrier for p in D2D_CATALOG.values()})}"
+    )

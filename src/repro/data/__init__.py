@@ -1,0 +1,26 @@
+"""Parameter tables with provenance notes.
+
+Every constant in this package is either taken verbatim from the paper /
+its cited public sources, or is a documented substitution for data the
+paper took from commercial databases and in-house sources (see DESIGN.md
+section 4).  Import the tables, do not copy the numbers.
+"""
+
+from repro.data.wafer_prices import WAFER_PRICES, WAFER_PRICE_SOURCES
+from repro.data.nre_costs import (
+    DESIGN_COST_INDEX,
+    MASK_SET_COSTS,
+    NRE_ANCHOR_5NM,
+)
+from repro.data.packaging_costs import PACKAGING_DEFAULTS
+from repro.data.integration import INTEGRATION_COMPARISON
+
+__all__ = [
+    "WAFER_PRICES",
+    "WAFER_PRICE_SOURCES",
+    "DESIGN_COST_INDEX",
+    "MASK_SET_COSTS",
+    "NRE_ANCHOR_5NM",
+    "PACKAGING_DEFAULTS",
+    "INTEGRATION_COMPARISON",
+]

@@ -1,0 +1,61 @@
+"""Figure 1 of the paper as a data table.
+
+The paper's Figure 1 (after Synopsys, "The new frontier of die-to-die
+interface IP", 2020) compares the three integration technologies on
+data rate, line space / pitch, and relative cost.  It is a conceptual
+chart; we capture its quantitative annotations so the comparison can be
+printed by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IntegrationProfile:
+    """Qualitative/quantitative profile of one integration technology."""
+
+    name: str
+    carrier: str
+    data_rate_gbps: float       # per-lane D2D data rate
+    line_space_um: float        # minimum routing line space
+    max_pin_count: int | None   # representative escape pin count
+    relative_cost_rank: int     # 1 = cheapest
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        pins = f", ~{self.max_pin_count} pins" if self.max_pin_count else ""
+        return (
+            f"{self.name}: {self.carrier}; {self.data_rate_gbps:g} Gbps/lane; "
+            f"line space >{self.line_space_um:g} um{pins}; "
+            f"cost rank {self.relative_cost_rank}"
+        )
+
+
+INTEGRATION_COMPARISON: tuple[IntegrationProfile, ...] = (
+    IntegrationProfile(
+        name="MCM",
+        carrier="organic substrate",
+        data_rate_gbps=112.0,
+        line_space_um=10.0,
+        max_pin_count=None,
+        relative_cost_rank=1,
+    ),
+    IntegrationProfile(
+        name="InFO",
+        carrier="post-fab RDL (fan-out)",
+        data_rate_gbps=56.0,
+        line_space_um=2.0,
+        max_pin_count=2500,
+        relative_cost_rank=2,
+    ),
+    IntegrationProfile(
+        name="2.5D",
+        carrier="silicon interposer",
+        data_rate_gbps=6.4,
+        line_space_um=0.4,
+        max_pin_count=4000,
+        relative_cost_rank=3,
+    ),
+)

@@ -1,0 +1,55 @@
+"""Per-node 300 mm wafer prices in USD.
+
+Source: Khan & Mann, "AI Chips: What They Are and Why They Matter",
+CSET (2020) — reference [3] of the paper — which tabulates TSMC wafer
+prices per node.  Entries not present in the CSET table are documented
+projections:
+
+* ``3nm`` — projected from the 5 nm -> 3 nm foundry price uplift reported
+  in trade press around 2021 (approximately 1.2-1.5x the 5 nm price).
+* ``rdl`` — fan-out RDL wafer processing (a few BEOL metal layers, no
+  FEOL), estimated at a small fraction of a mature-node wafer.
+* ``si`` — passive silicon interposer wafer (65 nm-class BEOL + TSV),
+  public estimates put it near a mature-node wafer price.
+
+The paper normalizes every result, so only the *ratios* between these
+prices matter for reproducing its figures.
+"""
+
+from __future__ import annotations
+
+# USD per processed 300 mm wafer.
+WAFER_PRICES: dict[str, float] = {
+    "3nm": 20000.0,
+    "5nm": 16988.0,
+    "7nm": 9346.0,
+    "10nm": 5992.0,
+    "12nm": 3984.0,
+    "14nm": 3984.0,
+    "16nm": 3984.0,
+    "22nm": 3677.0,
+    "28nm": 2891.0,
+    "40nm": 2274.0,
+    "65nm": 1937.0,
+    "90nm": 1650.0,
+    # Packaging "nodes".
+    "rdl": 1500.0,
+    "si": 3500.0,
+}
+
+WAFER_PRICE_SOURCES: dict[str, str] = {
+    "5nm": "CSET AI Chips (2020), TSMC price table",
+    "7nm": "CSET AI Chips (2020), TSMC price table",
+    "10nm": "CSET AI Chips (2020), TSMC price table",
+    "12nm": "CSET AI Chips (2020): 16/12nm class",
+    "14nm": "CSET AI Chips (2020): 16/12nm class",
+    "16nm": "CSET AI Chips (2020), TSMC price table",
+    "22nm": "CSET AI Chips (2020): 20nm class",
+    "28nm": "CSET AI Chips (2020), TSMC price table",
+    "40nm": "CSET AI Chips (2020), TSMC price table",
+    "65nm": "CSET AI Chips (2020), TSMC price table",
+    "90nm": "CSET AI Chips (2020), TSMC price table",
+    "3nm": "projection (~1.2x 5nm), substituted parameter",
+    "rdl": "substituted parameter: BEOL-only fan-out processing",
+    "si": "substituted parameter: 65nm-class BEOL + TSV interposer wafer",
+}

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Chiplet Actuary cost model.
+
+All library-raised exceptions derive from :class:`ChipletActuaryError` so
+callers can catch model errors without also trapping programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ChipletActuaryError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class UnknownNodeError(ChipletActuaryError, KeyError):
+    """Raised when a process node name is not in the catalog."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = available or []
+        hint = f" (available: {', '.join(self.available)})" if self.available else ""
+        super().__init__(f"unknown process node {name!r}{hint}")
+
+
+class InvalidParameterError(ChipletActuaryError, ValueError):
+    """Raised when a model parameter is outside its physical domain."""
+
+
+class ReticleLimitError(ChipletActuaryError, ValueError):
+    """Raised in strict mode when a die exceeds the lithographic reticle."""
+
+    def __init__(self, area: float, limit: float):
+        self.area = area
+        self.limit = limit
+        super().__init__(
+            f"die area {area:.1f} mm^2 exceeds the reticle limit {limit:.1f} mm^2"
+        )
+
+
+class EmptySystemError(ChipletActuaryError, ValueError):
+    """Raised when a system or chip is built with no content."""
+
+
+class ConfigError(ChipletActuaryError, ValueError):
+    """Raised when a serialized configuration cannot be interpreted."""

@@ -1,0 +1,76 @@
+"""Figure 2: yield-area and normalized cost-area relations.
+
+For each technology in the Fig. 2 legend, sweep die area and report the
+negative-binomial die yield and the good-die cost per mm^2 normalized to
+the raw wafer cost per mm^2 of the same technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.process.catalog import get_node
+from repro.reporting.series import FigureData, Series
+from repro.wafer.die import DieSpec, die_cost
+from repro.yieldmodel.models import yield_model_for_node
+
+#: Technologies shown in the paper's Figure 2, legend order.
+FIG2_TECHNOLOGIES = ("3nm", "5nm", "7nm", "14nm", "rdl", "si")
+
+#: Area grid of the paper's x-axis (mm^2).
+DEFAULT_AREAS = tuple(range(25, 825, 25))
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Yield and normalized-cost curves per technology."""
+
+    yield_figure: FigureData
+    cost_figure: FigureData
+
+    @property
+    def areas(self) -> tuple[object, ...]:
+        return self.yield_figure.xs
+
+
+def run_fig2(
+    areas: Sequence[float] = DEFAULT_AREAS,
+    technologies: Sequence[str] = FIG2_TECHNOLOGIES,
+) -> Fig2Result:
+    """Regenerate the Figure 2 curves.
+
+    Args:
+        areas: Die areas in mm^2 (the paper sweeps 0-800).
+        technologies: Catalog node names to include.
+    """
+    yield_series = []
+    cost_series = []
+    for name in technologies:
+        node = get_node(name)
+        model = yield_model_for_node(node)
+        label = (
+            f"{name} (D={node.defect_density:g}, c={node.cluster_param:g})"
+        )
+        yields = [model.die_yield(area) * 100.0 for area in areas]
+        costs = [
+            die_cost(DieSpec(area=area, node=node)).normalized_per_mm2
+            for area in areas
+        ]
+        yield_series.append(Series.of(label, yields))
+        cost_series.append(Series.of(label, costs))
+
+    return Fig2Result(
+        yield_figure=FigureData(
+            title="Fig. 2: die yield vs area",
+            x_label="area_mm2",
+            xs=tuple(areas),
+            series=tuple(yield_series),
+        ),
+        cost_figure=FigureData(
+            title="Fig. 2: normalized cost per area vs area",
+            x_label="area_mm2",
+            xs=tuple(areas),
+            series=tuple(cost_series),
+        ),
+    )

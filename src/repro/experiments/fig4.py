@@ -1,0 +1,108 @@
+"""Figure 4: RE cost of SoC vs MCM/InFO/2.5D across nodes and granularity.
+
+Nine panels — {2, 3, 5 chiplets} x {14 nm, 7 nm, 5 nm} — each sweeping
+total module area 100-900 mm^2.  Every bar is the five-way RE breakdown
+normalized to the total RE cost of a 100 mm^2 SoC at the same node.
+The workload follows the paper: 10% D2D overhead, no reuse, chip-last
+assembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.breakdown import RECost
+from repro.core.re_cost import compute_re_cost
+from repro.experiments.common import (
+    PAPER_D2D_FRACTION,
+    multichip_integrations,
+    reference_soc_re,
+)
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.process.catalog import get_node
+
+DEFAULT_NODES = ("14nm", "7nm", "5nm")
+DEFAULT_CHIPLET_COUNTS = (2, 3, 5)
+DEFAULT_AREAS = tuple(range(100, 1000, 100))
+
+
+@dataclass(frozen=True)
+class Fig4Cell:
+    """One bar: a (module area, scheme) pair with its normalized RE."""
+
+    area: float
+    scheme: str
+    re: RECost
+
+    @property
+    def total(self) -> float:
+        return self.re.total
+
+
+@dataclass(frozen=True)
+class Fig4Panel:
+    """One of the nine sub-plots."""
+
+    node: str
+    n_chiplets: int
+    cells: tuple[Fig4Cell, ...]
+
+    def cell(self, area: float, scheme: str) -> Fig4Cell:
+        for entry in self.cells:
+            if entry.area == area and entry.scheme == scheme:
+                return entry
+        raise KeyError((area, scheme))
+
+    def areas(self) -> list[float]:
+        seen: list[float] = []
+        for entry in self.cells:
+            if entry.area not in seen:
+                seen.append(entry.area)
+        return seen
+
+
+def run_fig4(
+    nodes: Sequence[str] = DEFAULT_NODES,
+    chiplet_counts: Sequence[int] = DEFAULT_CHIPLET_COUNTS,
+    areas: Sequence[float] = DEFAULT_AREAS,
+    d2d_fraction: float = PAPER_D2D_FRACTION,
+) -> list[Fig4Panel]:
+    """Regenerate the Figure 4 grid."""
+    panels = []
+    for node_name in nodes:
+        node = get_node(node_name)
+        reference = reference_soc_re(node)
+        for count in chiplet_counts:
+            cells: list[Fig4Cell] = []
+            for area in areas:
+                soc_re = compute_re_cost(soc_reference(area, node))
+                cells.append(
+                    Fig4Cell(
+                        area=area,
+                        scheme="SoC",
+                        re=soc_re.normalized_to(reference),
+                    )
+                )
+                for label, integration in multichip_integrations().items():
+                    system = partition_monolith(
+                        area,
+                        node,
+                        count,
+                        integration,
+                        d2d_fraction=d2d_fraction,
+                    )
+                    re = compute_re_cost(system)
+                    cells.append(
+                        Fig4Cell(
+                            area=area,
+                            scheme=label,
+                            re=re.normalized_to(reference),
+                        )
+                    )
+            panels.append(
+                Fig4Panel(
+                    node=node_name, n_chiplets=count, cells=tuple(cells)
+                )
+            )
+    return panels

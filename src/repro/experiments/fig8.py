@@ -1,0 +1,118 @@
+"""Figure 8: SCMS reuse scheme total cost.
+
+A single 7 nm chiplet with 200 mm^2 of module area builds 1X / 2X / 4X
+systems (500k units each) on MCM and 2.5D, with and without package
+reuse, against module-reusing monolithic SoCs.  Costs are normalized to
+the RE cost of the 4X MCM system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import NRECost, RECost
+from repro.experiments.common import PAPER_D2D_FRACTION
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.reuse.portfolio import Portfolio
+from repro.reuse.scms import SCMSConfig, SCMSStudy, build_scms
+
+
+@dataclass(frozen=True)
+class Fig8Entry:
+    """One bar: a grade under one build strategy, normalized."""
+
+    grade: int                # chiplet count of the grade (1 / 2 / 4)
+    variant: str              # "SoC" | "MCM" | "MCM+pkg" | "2.5D" | "2.5D+pkg"
+    re: RECost
+    nre: NRECost              # amortized per-unit shares
+    package_reused: bool
+
+    @property
+    def total(self) -> float:
+        return self.re.total + self.nre.total
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """All bars plus the studies they came from."""
+
+    entries: tuple[Fig8Entry, ...]
+    mcm_study: SCMSStudy
+    interposer_study: SCMSStudy
+    reference: float
+
+    def entry(self, grade: int, variant: str) -> Fig8Entry:
+        for item in self.entries:
+            if item.grade == grade and item.variant == variant:
+                return item
+        raise KeyError((grade, variant))
+
+    def variants(self) -> list[str]:
+        seen: list[str] = []
+        for item in self.entries:
+            if item.variant not in seen:
+                seen.append(item.variant)
+        return seen
+
+
+def _portfolio_entries(
+    portfolio: Portfolio,
+    grades: tuple[int, ...],
+    variant: str,
+    reference: float,
+    package_reused: bool,
+) -> list[Fig8Entry]:
+    entries = []
+    for grade, system in zip(grades, portfolio.systems):
+        cost = portfolio.amortized_cost(system)
+        entries.append(
+            Fig8Entry(
+                grade=grade,
+                variant=variant,
+                re=cost.re.normalized_to(reference),
+                nre=cost.amortized_nre.scaled(1.0 / reference),
+                package_reused=package_reused,
+            )
+        )
+    return entries
+
+
+def run_fig8(config: SCMSConfig | None = None) -> Fig8Result:
+    """Regenerate the Figure 8 bars."""
+    cfg = config if config is not None else SCMSConfig(
+        module_area=200.0,
+        node=get_node("7nm"),
+        counts=(1, 2, 4),
+        quantity=500_000.0,
+        d2d_fraction=PAPER_D2D_FRACTION,
+    )
+    mcm_study = build_scms(cfg, mcm())
+    interposer_study = build_scms(cfg, interposer_25d())
+
+    # Normalizer: RE cost of the largest (4X) plain-MCM system.
+    largest = mcm_study.chiplet.systems[-1]
+    from repro.core.re_cost import compute_re_cost
+
+    reference = compute_re_cost(largest).total
+
+    grades = cfg.counts
+    entries: list[Fig8Entry] = []
+    entries += _portfolio_entries(mcm_study.soc, grades, "SoC", reference, False)
+    entries += _portfolio_entries(mcm_study.chiplet, grades, "MCM", reference, False)
+    entries += _portfolio_entries(
+        mcm_study.chiplet_package_reused, grades, "MCM+pkg", reference, True
+    )
+    entries += _portfolio_entries(
+        interposer_study.chiplet, grades, "2.5D", reference, False
+    )
+    entries += _portfolio_entries(
+        interposer_study.chiplet_package_reused, grades, "2.5D+pkg", reference, True
+    )
+    return Fig8Result(
+        entries=tuple(entries),
+        mcm_study=mcm_study,
+        interposer_study=interposer_study,
+        reference=reference,
+    )

@@ -1,0 +1,101 @@
+"""Figure 9: OCME reuse scheme total cost.
+
+A 7 nm center die C with four 160 mm^2 extension sockets builds four
+products (C, C+1X, C+1X+1Y, C+2X+2Y; 500k units each).  Variants:
+monolithic SoC, ordinary MCM, package-reused MCM and package-reused
+heterogeneous MCM (C on 14 nm, its modules unscalable).  Costs are
+normalized to the RE cost of the largest ordinary-MCM system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import NRECost, RECost
+from repro.core.re_cost import compute_re_cost
+from repro.experiments.common import PAPER_D2D_FRACTION
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.reuse.ocme import OCMEConfig, OCMEStudy, build_ocme
+from repro.reuse.portfolio import Portfolio
+
+VARIANTS = ("SoC", "MCM", "MCM+pkg", "MCM+pkg+hetero")
+
+
+@dataclass(frozen=True)
+class Fig9Entry:
+    """One bar: a product under one build variant, normalized."""
+
+    label: str                # "C", "C+1X", ...
+    variant: str              # see VARIANTS
+    re: RECost
+    nre: NRECost
+
+    @property
+    def total(self) -> float:
+        return self.re.total + self.nre.total
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    entries: tuple[Fig9Entry, ...]
+    study: OCMEStudy
+    reference: float
+
+    def entry(self, label: str, variant: str) -> Fig9Entry:
+        for item in self.entries:
+            if item.label == label and item.variant == variant:
+                return item
+        raise KeyError((label, variant))
+
+    def labels(self) -> list[str]:
+        seen: list[str] = []
+        for item in self.entries:
+            if item.label not in seen:
+                seen.append(item.label)
+        return seen
+
+
+def _portfolio_entries(
+    portfolio: Portfolio,
+    labels: list[str],
+    variant: str,
+    reference: float,
+) -> list[Fig9Entry]:
+    entries = []
+    for label, system in zip(labels, portfolio.systems):
+        cost = portfolio.amortized_cost(system)
+        entries.append(
+            Fig9Entry(
+                label=label,
+                variant=variant,
+                re=cost.re.normalized_to(reference),
+                nre=cost.amortized_nre.scaled(1.0 / reference),
+            )
+        )
+    return entries
+
+
+def run_fig9(config: OCMEConfig | None = None) -> Fig9Result:
+    """Regenerate the Figure 9 bars."""
+    cfg = config if config is not None else OCMEConfig(
+        socket_area=160.0,
+        node=get_node("7nm"),
+        center_node=get_node("14nm"),
+        d2d_fraction=PAPER_D2D_FRACTION,
+    )
+    study = build_ocme(cfg, mcm())
+    labels = study.labels()
+
+    reference = compute_re_cost(study.mcm.systems[-1]).total
+
+    entries: list[Fig9Entry] = []
+    entries += _portfolio_entries(study.soc, labels, "SoC", reference)
+    entries += _portfolio_entries(study.mcm, labels, "MCM", reference)
+    entries += _portfolio_entries(
+        study.mcm_package_reused, labels, "MCM+pkg", reference
+    )
+    entries += _portfolio_entries(
+        study.mcm_heterogeneous, labels, "MCM+pkg+hetero", reference
+    )
+    return Fig9Result(entries=tuple(entries), study=study, reference=reference)

@@ -1,0 +1,204 @@
+"""Render experiment results as the tables/series the paper reports.
+
+Shared by the benchmark harness and the CLI so both print identical
+output.
+"""
+
+from __future__ import annotations
+
+from repro.core.breakdown import NRE_COMPONENTS, RE_COMPONENTS
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.fig4 import Fig4Panel
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.fig10 import Fig10Result
+from repro.reporting.table import Table
+
+_RE_LABELS = {
+    "raw_chips": "raw chips",
+    "chip_defects": "chip defects",
+    "raw_package": "raw package",
+    "package_defects": "pkg defects",
+    "wasted_kgd": "wasted KGD",
+}
+
+
+def render_fig2(result: Fig2Result, step: int = 4) -> str:
+    """Yield and cost tables, subsampled every ``step`` areas."""
+    areas = list(result.yield_figure.xs)[step - 1 :: step]
+    parts = []
+    for figure in (result.yield_figure, result.cost_figure):
+        table = Table(
+            ["area_mm2"] + [series.name for series in figure.series],
+            title=figure.title,
+            precision=2,
+        )
+        for index, area in enumerate(figure.xs):
+            if area not in areas:
+                continue
+            table.add_row(
+                [area] + [series.ys[index] for series in figure.series]
+            )
+        parts.append(table.render())
+    return "\n\n".join(parts)
+
+
+def render_fig4_panel(panel: Fig4Panel) -> str:
+    table = Table(
+        ["area_mm2", "scheme"]
+        + [_RE_LABELS[name] for name in RE_COMPONENTS]
+        + ["total"],
+        title=(
+            f"Fig. 4 panel: {panel.n_chiplets} chiplets @ {panel.node} "
+            f"(RE cost normalized to the 100 mm^2 SoC)"
+        ),
+    )
+    for cell in panel.cells:
+        row = [cell.area, cell.scheme]
+        row += [cell.re.as_dict()[name] for name in RE_COMPONENTS]
+        row.append(cell.total)
+        table.add_row(row)
+    return table.render()
+
+
+def render_fig5(result: Fig5Result) -> str:
+    table = Table(
+        [
+            "cores",
+            "MCM total",
+            "MCM die",
+            "MCM pkg",
+            "MCM pkg%",
+            "mono total",
+            "mono die",
+            "mono pkg",
+            "mono pkg%",
+            "die saving%",
+        ],
+        title=(
+            "Fig. 5: AMD-style validation "
+            "(normalized to the 16-core monolithic SoC)"
+        ),
+        precision=2,
+    )
+    for row in result.rows:
+        table.add_row(
+            [
+                row.cores,
+                row.mcm_total,
+                row.mcm_die,
+                row.mcm_packaging,
+                row.mcm_packaging_share * 100,
+                row.mono_total,
+                row.mono_die,
+                row.mono_packaging,
+                row.mono_packaging_share * 100,
+                row.die_cost_saving * 100,
+            ]
+        )
+    return table.render()
+
+
+def render_fig6(result: Fig6Result) -> str:
+    table = Table(
+        ["node", "quantity", "scheme", "RE", "NRE modules", "NRE chips",
+         "NRE packages", "NRE D2D", "total", "RE share%"],
+        title=(
+            f"Fig. 6: total cost of a single {result.module_area:.0f} mm^2 "
+            f"system, {result.n_chiplets} chiplets "
+            "(normalized to the SoC RE of the same node)"
+        ),
+        precision=3,
+    )
+    for entry in result.entries:
+        nre = entry.cost.amortized_nre
+        table.add_row(
+            [
+                entry.node,
+                f"{entry.quantity:.0f}",
+                entry.scheme,
+                entry.cost.re_total,
+                nre.modules,
+                nre.chips,
+                nre.packages,
+                nre.d2d,
+                entry.total,
+                entry.re_share * 100,
+            ]
+        )
+    return table.render()
+
+
+def _reuse_table(title: str, rows: list[tuple[str, str, object, object]]) -> str:
+    table = Table(
+        ["system", "variant", "RE", "NRE modules", "NRE chips",
+         "NRE packages", "NRE D2D", "total"],
+        title=title,
+        precision=3,
+    )
+    for label, variant, re, nre in rows:
+        table.add_row(
+            [
+                label,
+                variant,
+                re.total,
+                nre.modules,
+                nre.chips,
+                nre.packages,
+                nre.d2d,
+                re.total + nre.total,
+            ]
+        )
+    return table.render()
+
+
+def render_fig8(result: Fig8Result) -> str:
+    rows = [
+        (f"{entry.grade}X", entry.variant, entry.re, entry.nre)
+        for entry in result.entries
+    ]
+    return _reuse_table(
+        "Fig. 8: SCMS reuse (normalized to the 4X MCM RE cost)", rows
+    )
+
+
+def render_fig9(result: Fig9Result) -> str:
+    rows = [
+        (entry.label, entry.variant, entry.re, entry.nre)
+        for entry in result.entries
+    ]
+    return _reuse_table(
+        "Fig. 9: OCME reuse (normalized to the largest MCM RE cost)", rows
+    )
+
+
+def render_fig10(result: Fig10Result) -> str:
+    table = Table(
+        ["situation", "scheme", "#systems", "avg RE", "avg NRE modules",
+         "avg NRE chips", "avg NRE packages", "avg NRE D2D", "avg total"],
+        title=(
+            "Fig. 10: FSMC reuse — average normalized total cost "
+            "(normalized to the average SoC RE of the first situation)"
+        ),
+        precision=3,
+    )
+    for entry in result.entries:
+        table.add_row(
+            [
+                entry.label,
+                entry.scheme,
+                entry.system_count,
+                entry.avg_re,
+                entry.avg_nre_modules,
+                entry.avg_nre_chips,
+                entry.avg_nre_packages,
+                entry.avg_nre_d2d,
+                entry.total,
+            ]
+        )
+    return table.render()
+
+
+_ = NRE_COMPONENTS  # re-exported ordering documented for table columns

@@ -1,0 +1,233 @@
+"""Decision procedures distilled from the paper's Section 6.
+
+* which integration scheme to use (:func:`choose_integration`),
+* at what quantity multi-chip pays back (:func:`multichip_payback_quantity`),
+* how many chiplets are worth it (:func:`granularity_marginal_utility`),
+* whether package reuse pays (:func:`package_reuse_break_even`),
+* how close a design is to the Moore Limit (:func:`moore_limit_proximity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.re_cost import compute_re_cost
+from repro.core.system import System
+from repro.core.total import compute_total_cost
+from repro.errors import InvalidParameterError
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.base import IntegrationTech
+from repro.process.node import ProcessNode
+from repro.reuse.portfolio import Portfolio
+from repro.wafer.geometry import RETICLE_LIMIT_MM2
+
+
+@dataclass(frozen=True)
+class IntegrationChoice:
+    """One ranked alternative from :func:`choose_integration`."""
+
+    system: System
+    total_per_unit: float
+    re_per_unit: float
+    nre_per_unit: float
+
+    @property
+    def label(self) -> str:
+        return self.system.integration.label
+
+
+def choose_integration(
+    module_area: float,
+    node: ProcessNode,
+    n_chiplets: int,
+    quantity: float,
+    integrations: Sequence[IntegrationTech],
+    d2d_fraction: float = 0.10,
+) -> list[IntegrationChoice]:
+    """Rank integration alternatives (monolithic SoC + each candidate).
+
+    Returns choices sorted by per-unit total cost, cheapest first.  The
+    SoC alternative always participates; candidates are evaluated with
+    the module area split into ``n_chiplets`` equal chiplets.
+    """
+    if quantity <= 0:
+        raise InvalidParameterError("quantity must be > 0")
+    alternatives = [soc_reference(module_area, node, quantity=quantity)]
+    for integration in integrations:
+        alternatives.append(
+            partition_monolith(
+                module_area,
+                node,
+                n_chiplets,
+                integration,
+                d2d_fraction=d2d_fraction,
+                quantity=quantity,
+            )
+        )
+    choices = []
+    for system in alternatives:
+        cost = compute_total_cost(system)
+        choices.append(
+            IntegrationChoice(
+                system=system,
+                total_per_unit=cost.total,
+                re_per_unit=cost.re_total,
+                nre_per_unit=cost.nre_total,
+            )
+        )
+    return sorted(choices, key=lambda choice: choice.total_per_unit)
+
+
+def multichip_payback_quantity(
+    soc_system: System,
+    multichip_system: System,
+    low: float = 1e3,
+    high: float = 1e9,
+    tolerance: float = 1e-3,
+) -> float | None:
+    """Smallest quantity at which the multi-chip system is no more
+    expensive per unit than the SoC (bisection; None if it never pays
+    back below ``high``).
+
+    Requires the multi-chip system to have an RE advantage and an NRE
+    disadvantage — the paper's Section 4.2 situation.  If multi-chip is
+    already cheaper at ``low``, returns ``low``.
+    """
+    if low <= 0 or high <= low:
+        raise InvalidParameterError("need 0 < low < high")
+
+    def gap(quantity: float) -> float:
+        soc = compute_total_cost(soc_system, quantity).total
+        multi = compute_total_cost(multichip_system, quantity).total
+        return multi - soc
+
+    if gap(low) <= 0:
+        return low
+    if gap(high) > 0:
+        return None
+    lo, hi = low, high
+    while hi / lo > 1.0 + tolerance:
+        mid = (lo * hi) ** 0.5
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class GranularityStep:
+    """Effect of moving from ``from_chiplets`` to ``to_chiplets``."""
+
+    from_chiplets: int
+    to_chiplets: int
+    defect_cost_before: float
+    defect_cost_after: float
+    re_total_before: float
+    re_total_after: float
+
+    @property
+    def defect_saving(self) -> float:
+        return self.defect_cost_before - self.defect_cost_after
+
+    @property
+    def defect_saving_ratio(self) -> float:
+        """Die-defect saving relative to the coarser partition's total RE."""
+        if self.re_total_before == 0:
+            return 0.0
+        return self.defect_saving / self.re_total_before
+
+    @property
+    def re_delta(self) -> float:
+        """Positive when the finer partition is *more* expensive."""
+        return self.re_total_after - self.re_total_before
+
+
+def granularity_marginal_utility(
+    module_area: float,
+    node: ProcessNode,
+    integration: IntegrationTech,
+    counts: Sequence[int] = (1, 2, 3, 5),
+    d2d_fraction: float = 0.10,
+) -> list[GranularityStep]:
+    """Marginal die-defect saving of successively finer partitions.
+
+    The paper's observation: 3 -> 5 chiplets saves <10% more on die
+    defects at 5 nm / 800 mm^2 while the overheads keep growing.
+    """
+    if sorted(counts) != list(counts) or len(set(counts)) != len(counts):
+        raise InvalidParameterError("counts must be strictly increasing")
+    systems = []
+    for count in counts:
+        if count == 1:
+            systems.append(soc_reference(module_area, node))
+        else:
+            systems.append(
+                partition_monolith(
+                    module_area, node, count, integration, d2d_fraction
+                )
+            )
+    costs = [compute_re_cost(system) for system in systems]
+    steps = []
+    for before, after, cost_before, cost_after in zip(
+        counts, counts[1:], costs, costs[1:]
+    ):
+        steps.append(
+            GranularityStep(
+                from_chiplets=before,
+                to_chiplets=after,
+                defect_cost_before=cost_before.chip_defects,
+                defect_cost_after=cost_after.chip_defects,
+                re_total_before=cost_before.total,
+                re_total_after=cost_after.total,
+            )
+        )
+    return steps
+
+
+@dataclass(frozen=True)
+class PackageReuseVerdict:
+    """Outcome of :func:`package_reuse_break_even` for one portfolio pair."""
+
+    cost_without_reuse: float
+    cost_with_reuse: float
+
+    @property
+    def reuse_pays(self) -> bool:
+        return self.cost_with_reuse < self.cost_without_reuse
+
+    @property
+    def saving_ratio(self) -> float:
+        if self.cost_without_reuse == 0:
+            return 0.0
+        return 1.0 - self.cost_with_reuse / self.cost_without_reuse
+
+
+def package_reuse_break_even(
+    without_reuse: Portfolio, with_reuse: Portfolio
+) -> PackageReuseVerdict:
+    """Compare average per-unit cost of two portfolios.
+
+    The paper's rule: "whether using package reuse depends on which
+    accounts for a more significant proportion" — the RE waste on
+    oversized packages versus the amortized package NRE saving.
+    """
+    return PackageReuseVerdict(
+        cost_without_reuse=without_reuse.average_cost(),
+        cost_with_reuse=with_reuse.average_cost(),
+    )
+
+
+def moore_limit_proximity(area: float, node: ProcessNode) -> float:
+    """How close a die is to the Moore Limit, as area / reticle limit.
+
+    The paper: "the closer to the Moore Limit (the largest area at the
+    most advanced technology) the system is, the higher cost-benefit
+    from multi-chip architecture".  Values above 1.0 mean the die cannot
+    be manufactured monolithically at all.
+    """
+    if area <= 0:
+        raise InvalidParameterError(f"area must be > 0, got {area}")
+    del node  # reserved: per-node reticle differences
+    return area / RETICLE_LIMIT_MM2

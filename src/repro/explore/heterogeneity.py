@@ -1,0 +1,91 @@
+"""Heterogeneous node assignment studies.
+
+The OCME insight (Section 5.2): when a die is dominated by modules that
+do not benefit from advanced nodes, fabricating it on a mature node cuts
+both wafer cost and NRE without an area penalty.  These helpers quantify
+that trade for a single chip inside a multi-chip system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.chip import Chip
+from repro.core.system import System
+from repro.core.total import compute_total_cost
+from repro.errors import InvalidParameterError
+from repro.process.node import ProcessNode
+
+
+@dataclass(frozen=True)
+class CenterNodeComparison:
+    """Cost of one system variant with the target chip on a given node."""
+
+    node: ProcessNode
+    chip_area: float
+    re_per_unit: float
+    total_per_unit: float
+
+    def saving_vs(self, baseline: "CenterNodeComparison") -> float:
+        """Relative total-cost saving against a baseline variant."""
+        if baseline.total_per_unit == 0:
+            return 0.0
+        return 1.0 - self.total_per_unit / baseline.total_per_unit
+
+
+def _retarget_chip(chip: Chip, node: ProcessNode) -> Chip:
+    """Copy of ``chip`` implemented on another node (modules shared)."""
+    return Chip(name=f"{chip.name}@{node.name}", modules=chip.modules,
+                node=node, d2d=chip.d2d)
+
+
+def compare_center_nodes(
+    system: System,
+    target_chip: Chip,
+    candidate_nodes: Sequence[ProcessNode],
+    quantity: float | None = None,
+) -> list[CenterNodeComparison]:
+    """Evaluate ``system`` with ``target_chip`` moved to each candidate node.
+
+    Every occurrence of ``target_chip`` in the system is replaced by a
+    retargeted copy; all other chips stay put.  Results are ordered as
+    given (the first candidate is typically the original node).
+
+    Note: this treats each variant as a standalone system (own NRE).
+    Portfolio-level sharing of the retargeted chip is available through
+    :class:`repro.reuse.portfolio.Portfolio`.
+    """
+    if not any(chip is target_chip for chip in system.chips):
+        raise InvalidParameterError(
+            f"chip {target_chip.name!r} is not part of system {system.name!r}"
+        )
+    if not candidate_nodes:
+        raise InvalidParameterError("need at least one candidate node")
+
+    results = []
+    for node in candidate_nodes:
+        if node.name == target_chip.node.name:
+            replacement = target_chip
+        else:
+            replacement = _retarget_chip(target_chip, node)
+        chips = tuple(
+            replacement if chip is target_chip else chip
+            for chip in system.chips
+        )
+        variant = System(
+            name=f"{system.name}-center-{node.name}",
+            chips=chips,
+            integration=system.integration,
+            quantity=system.quantity,
+        )
+        cost = compute_total_cost(variant, quantity)
+        results.append(
+            CenterNodeComparison(
+                node=node,
+                chip_area=replacement.area,
+                re_per_unit=cost.re_total,
+                total_per_unit=cost.total,
+            )
+        )
+    return results

@@ -1,0 +1,128 @@
+"""Pareto-frontier exploration over the partition x integration space.
+
+Cost is not the only objective: package footprint (board area), total
+silicon, and NRE exposure matter too.  This module sweeps the design
+space the paper's Figure 4/6 spans and extracts the non-dominated set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.re_cost import compute_re_cost
+from repro.core.system import System
+from repro.core.total import compute_total_cost
+from repro.errors import InvalidParameterError
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.base import IntegrationTech
+from repro.process.node import ProcessNode
+
+T = TypeVar("T")
+
+
+def pareto_frontier(
+    items: Sequence[T],
+    objectives: Sequence[Callable[[T], float]],
+) -> list[T]:
+    """Non-dominated subset under *minimization* of every objective.
+
+    An item is dominated when another item is no worse on every
+    objective and strictly better on at least one.
+    """
+    if not objectives:
+        raise InvalidParameterError("need at least one objective")
+    scores = [[objective(item) for objective in objectives] for item in items]
+
+    def dominates(a: list[float], b: list[float]) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    frontier = []
+    for index, item in enumerate(items):
+        if not any(
+            dominates(scores[other], scores[index])
+            for other in range(len(items))
+            if other != index
+        ):
+            frontier.append(item)
+    return frontier
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated alternative in the partition x integration space."""
+
+    system: System
+    scheme: str
+    n_chiplets: int
+    total_per_unit: float
+    re_per_unit: float
+    nre_total: float
+    package_footprint: float
+    silicon_area: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheme} x{self.n_chiplets}"
+
+
+def design_space(
+    module_area: float,
+    node: ProcessNode,
+    quantity: float,
+    integrations: Sequence[IntegrationTech],
+    chiplet_counts: Sequence[int] = (2, 3, 4, 5),
+    d2d_fraction: float = 0.10,
+) -> list[DesignPoint]:
+    """Evaluate the SoC plus every (integration, count) alternative."""
+    if quantity <= 0:
+        raise InvalidParameterError("quantity must be > 0")
+    points = []
+
+    soc_system = soc_reference(module_area, node, quantity=quantity)
+    points.append(_evaluate(soc_system, "SoC", 1))
+
+    for integration in integrations:
+        for count in chiplet_counts:
+            system = partition_monolith(
+                module_area,
+                node,
+                count,
+                integration,
+                d2d_fraction=d2d_fraction,
+                quantity=quantity,
+            )
+            points.append(_evaluate(system, integration.label, count))
+    return points
+
+
+def _evaluate(system: System, scheme: str, count: int) -> DesignPoint:
+    total = compute_total_cost(system)
+    re = compute_re_cost(system)
+    if system.package is not None:
+        footprint = system.package.footprint
+    else:
+        footprint = system.integration.package_area(system.chip_areas)
+    return DesignPoint(
+        system=system,
+        scheme=scheme,
+        n_chiplets=count,
+        total_per_unit=total.total,
+        re_per_unit=re.total,
+        nre_total=total.amortized_nre.total * total.quantity,
+        package_footprint=footprint,
+        silicon_area=system.silicon_area,
+    )
+
+
+def cost_footprint_frontier(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """Pareto set over (per-unit total cost, package footprint)."""
+    return pareto_frontier(
+        points,
+        [
+            lambda point: point.total_per_unit,
+            lambda point: point.package_footprint,
+        ],
+    )

@@ -1,0 +1,117 @@
+"""Inverse design questions (extension).
+
+The forward model answers "what does this design cost?".  Architects
+often need the inverse: *given a cost target*, what is the largest
+affordable die, the defect density a foundry must reach, or the D2D
+overhead budget?  This module answers those with monotone bisection on
+the forward model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.re_cost import compute_re_cost
+from repro.errors import InvalidParameterError
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.base import IntegrationTech
+from repro.process.node import ProcessNode
+
+
+def _bisect_increasing(
+    fn: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    tolerance: float,
+) -> float | None:
+    """Largest x in [low, high] with fn(x) <= target, for increasing fn."""
+    if fn(low) > target:
+        return None
+    if fn(high) <= target:
+        return high
+    lo, hi = low, high
+    while hi - lo > tolerance * max(1.0, abs(hi)):
+        mid = (lo + hi) / 2.0
+        if fn(mid) <= target:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def max_affordable_area(
+    node: ProcessNode,
+    re_budget: float,
+    low: float = 10.0,
+    high: float = 1500.0,
+    tolerance: float = 1e-4,
+) -> float | None:
+    """Largest monolithic die whose RE cost fits the budget (USD/unit).
+
+    Returns None when even the smallest die exceeds the budget.
+    """
+    if re_budget <= 0:
+        raise InvalidParameterError("budget must be > 0")
+
+    def cost(area: float) -> float:
+        return compute_re_cost(soc_reference(area, node)).total
+
+    return _bisect_increasing(cost, re_budget, low, high, tolerance)
+
+
+def required_defect_density(
+    area: float,
+    node: ProcessNode,
+    re_budget: float,
+    tolerance: float = 1e-5,
+) -> float | None:
+    """Defect density (defects/cm^2) the process must reach so a
+    monolithic die of ``area`` fits the RE budget.
+
+    Returns None when the budget is unreachable even at zero defects;
+    returns the catalog density when it already suffices.
+    """
+    if re_budget <= 0:
+        raise InvalidParameterError("budget must be > 0")
+
+    def cost(density: float) -> float:
+        evolved = node.with_defect_density(density)
+        return compute_re_cost(soc_reference(area, evolved)).total
+
+    if cost(node.defect_density) <= re_budget:
+        return node.defect_density
+    if cost(0.0) > re_budget:
+        return None
+    lo, hi = 0.0, node.defect_density
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if cost(mid) <= re_budget:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def max_d2d_fraction(
+    module_area: float,
+    node: ProcessNode,
+    n_chiplets: int,
+    integration: IntegrationTech,
+    tolerance: float = 1e-4,
+) -> float | None:
+    """Largest D2D area fraction at which partitioning still beats the
+    monolithic SoC on RE cost.
+
+    Returns None when partitioning loses even with zero D2D overhead.
+    """
+    soc_total = compute_re_cost(soc_reference(module_area, node)).total
+
+    def cost(fraction: float) -> float:
+        system = partition_monolith(
+            module_area, node, n_chiplets, integration,
+            d2d_fraction=fraction,
+        )
+        return compute_re_cost(system).total
+
+    return _bisect_increasing(cost, soc_total, 0.0, 0.6, tolerance)

@@ -1,0 +1,67 @@
+"""Generic parameter-sweep engine.
+
+A sweep maps a sequence of parameter values through a builder (value ->
+system) and an evaluator (system -> cost), collecting
+:class:`SweepPoint` rows that the reporting layer can print or export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+from repro.core.system import System
+from repro.errors import InvalidParameterError
+
+X = TypeVar("X")
+Y = TypeVar("Y")
+
+
+@dataclass(frozen=True)
+class SweepPoint(Generic[X, Y]):
+    """One sweep sample: the parameter value and its evaluation."""
+
+    x: X
+    value: Y
+
+
+@dataclass(frozen=True)
+class Sweep(Generic[X, Y]):
+    """An ordered collection of sweep samples."""
+
+    name: str
+    points: tuple[SweepPoint[X, Y], ...]
+
+    def xs(self) -> list[X]:
+        return [point.x for point in self.points]
+
+    def values(self) -> list[Y]:
+        return [point.value for point in self.points]
+
+    def map_values(self, fn: Callable[[Y], float]) -> "Sweep[X, float]":
+        """Project each value through ``fn`` (e.g. extract a total)."""
+        return Sweep(
+            name=self.name,
+            points=tuple(SweepPoint(p.x, fn(p.value)) for p in self.points),
+        )
+
+    def argmin(self, key: Callable[[Y], float]) -> SweepPoint[X, Y]:
+        """The sample minimizing ``key`` (errors on empty sweeps)."""
+        if not self.points:
+            raise InvalidParameterError(f"sweep {self.name!r} is empty")
+        return min(self.points, key=lambda point: key(point.value))
+
+
+def run_sweep(
+    name: str,
+    values: Sequence[X],
+    builder: Callable[[X], System],
+    evaluator: Callable[[System], Y],
+) -> Sweep[X, Y]:
+    """Evaluate ``builder(value)`` with ``evaluator`` for every value."""
+    if not values:
+        raise InvalidParameterError("sweep needs at least one value")
+    points = tuple(
+        SweepPoint(x=value, value=evaluator(builder(value))) for value in values
+    )
+    return Sweep(name=name, points=points)

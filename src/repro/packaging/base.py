@@ -1,0 +1,115 @@
+"""Integration technology interface and packaging cost breakdown.
+
+Every integration technology (single-die SoC package, MCM, InFO, 2.5D)
+answers three questions:
+
+* how big is the package for a given set of chips,
+* what does packaging cost, itemized the paper's way (raw package /
+  package defects / wasted KGD — the last three bars of Figure 4),
+* what is the package NRE (the Kp*Sp + Cp term of Eqs. 7-8).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import EmptySystemError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class PackagingCost:
+    """Recurring packaging cost of one system, itemized (USD).
+
+    Attributes:
+        raw_package: Carrier(s) + substrate + assembly fee, defect-free.
+        package_defects: Extra carrier/substrate/assembly spend caused by
+            packaging yield loss.
+        wasted_kgd: Known-good-die cost destroyed by packaging failures.
+    """
+
+    raw_package: float
+    package_defects: float
+    wasted_kgd: float
+
+    def __post_init__(self) -> None:
+        for label in ("raw_package", "package_defects", "wasted_kgd"):
+            if getattr(self, label) < 0:
+                raise InvalidParameterError(f"{label} must be >= 0")
+
+    @property
+    def total(self) -> float:
+        return self.raw_package + self.package_defects + self.wasted_kgd
+
+    def scaled(self, factor: float) -> "PackagingCost":
+        """Component-wise scaling (used for normalization)."""
+        return PackagingCost(
+            raw_package=self.raw_package * factor,
+            package_defects=self.package_defects * factor,
+            wasted_kgd=self.wasted_kgd * factor,
+        )
+
+    def __add__(self, other: "PackagingCost") -> "PackagingCost":
+        return PackagingCost(
+            raw_package=self.raw_package + other.raw_package,
+            package_defects=self.package_defects + other.package_defects,
+            wasted_kgd=self.wasted_kgd + other.wasted_kgd,
+        )
+
+
+class IntegrationTech(ABC):
+    """One way of turning chips into a packaged system."""
+
+    #: Short catalog key, e.g. "mcm".
+    name: str = ""
+    #: Human-facing label, e.g. "MCM".
+    label: str = ""
+
+    @staticmethod
+    def _check_chip_areas(chip_areas: Sequence[float]) -> None:
+        if not chip_areas:
+            raise EmptySystemError("a package needs at least one chip")
+        for area in chip_areas:
+            if area <= 0:
+                raise InvalidParameterError(
+                    f"chip areas must be > 0 mm^2, got {area}"
+                )
+
+    @abstractmethod
+    def package_area(self, chip_areas: Sequence[float]) -> float:
+        """Package (substrate) footprint in mm^2 for the given chips."""
+
+    @abstractmethod
+    def packaging_cost(
+        self,
+        chip_areas: Sequence[float],
+        kgd_cost: float,
+        sized_for: Sequence[float] | None = None,
+    ) -> PackagingCost:
+        """Recurring packaging cost for one system.
+
+        Args:
+            chip_areas: Area of each chip placed in the package, mm^2.
+            kgd_cost: Total cost of the known good dies committed to one
+                assembly attempt, USD.
+            sized_for: When the package is a reused design, the chip
+                areas it was *sized* for; carrier and substrate costs
+                follow these, bonding yields follow ``chip_areas``.
+        """
+
+    @abstractmethod
+    def package_nre(self, chip_areas: Sequence[float]) -> float:
+        """One-time package design cost (Kp*Sp + Cp), USD."""
+
+    @property
+    def max_chips(self) -> int | None:
+        """Upper bound on chips per package, or None when unconstrained."""
+        return None
+
+    def supports_chip_count(self, count: int) -> bool:
+        limit = self.max_chips
+        return limit is None or count <= limit
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

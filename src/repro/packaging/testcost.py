@@ -1,0 +1,129 @@
+"""Explicit test cost model (the paper folds this into other buckets).
+
+The paper includes "bumping, wafer sort, and package test" in its raw
+chip / raw package buckets "because they are not so significant".  For
+chiplet-heavy designs that is worth a second look: every chiplet must
+be sorted to *known-good-die* quality before assembly, and KGD-grade
+sort is more expensive than ordinary wafer sort.  This module provides
+a time-based tester cost model and an augmented RE evaluation so that
+claim can be checked rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import RECost
+from repro.core.re_cost import compute_re_cost
+from repro.core.system import System
+from repro.errors import InvalidParameterError
+from repro.wafer.die import DieSpec, die_cost
+
+
+@dataclass(frozen=True)
+class TestCostModel:
+    """Tester-time cost model.
+
+    (The ``__test__`` attribute keeps pytest from collecting this
+    production class, whose name happens to start with "Test".)
+
+    Attributes:
+        tester_cost_per_hour: Loaded tester + handler cost, USD/hour.
+        sort_seconds_per_mm2: Wafer-sort time per mm^2 of die area.
+        kgd_multiplier: Extra sort coverage for chiplets that must ship
+            as known good dies (burn-in, at-speed, extended patterns).
+        package_test_seconds: Final package test time, seconds.
+    """
+
+    __test__ = False
+
+    tester_cost_per_hour: float = 400.0
+    sort_seconds_per_mm2: float = 0.02
+    kgd_multiplier: float = 2.0
+    package_test_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.tester_cost_per_hour < 0:
+            raise InvalidParameterError("tester cost must be >= 0")
+        if self.sort_seconds_per_mm2 < 0:
+            raise InvalidParameterError("sort time must be >= 0")
+        if self.kgd_multiplier < 1.0:
+            raise InvalidParameterError("KGD multiplier must be >= 1")
+        if self.package_test_seconds < 0:
+            raise InvalidParameterError("package test time must be >= 0")
+
+    @property
+    def _per_second(self) -> float:
+        return self.tester_cost_per_hour / 3600.0
+
+    def sort_cost(self, area: float, kgd_grade: bool) -> float:
+        """Wafer-sort cost for one die candidate."""
+        if area <= 0:
+            raise InvalidParameterError("area must be > 0")
+        seconds = self.sort_seconds_per_mm2 * area
+        if kgd_grade:
+            seconds *= self.kgd_multiplier
+        return seconds * self._per_second
+
+    def package_test_cost(self) -> float:
+        """Final test cost per package attempt."""
+        return self.package_test_seconds * self._per_second
+
+
+@dataclass(frozen=True)
+class TestedRECost:
+    """RE cost augmented with itemized test costs (USD per unit)."""
+
+    __test__ = False
+
+    base: RECost
+    wafer_sort: float
+    package_test: float
+
+    @property
+    def test_total(self) -> float:
+        return self.wafer_sort + self.package_test
+
+    @property
+    def total(self) -> float:
+        return self.base.total + self.test_total
+
+    @property
+    def test_share(self) -> float:
+        """Test cost as a share of the augmented total."""
+        if self.total == 0:
+            return 0.0
+        return self.test_total / self.total
+
+
+def compute_tested_re_cost(
+    system: System, model: TestCostModel | None = None
+) -> TestedRECost:
+    """RE cost with explicit wafer-sort and package-test line items.
+
+    Sort is paid per die *candidate* (defective dies are sorted too —
+    that is how they are found), so the per-good-die sort cost carries
+    the 1/yield factor.  Chiplets pay the KGD multiplier; a monolithic
+    die pays ordinary sort.  Package test is paid per assembly attempt.
+    """
+    tester = model if model is not None else TestCostModel()
+    base = compute_re_cost(system)
+
+    sort_total = 0.0
+    for chip, count in system.unique_chips():
+        cost = die_cost(DieSpec(area=chip.area, node=chip.node))
+        per_candidate = tester.sort_cost(chip.area, kgd_grade=chip.is_chiplet)
+        sort_total += per_candidate / cost.die_yield * count
+
+    # Package test attempts: infer the retry factor from the KGD waste
+    # already computed by the packaging flow.
+    kgd_cost = base.chips_total
+    if kgd_cost > 0:
+        attempts = 1.0 + base.wasted_kgd / kgd_cost
+    else:
+        attempts = 1.0
+    package_test = tester.package_test_cost() * attempts
+
+    return TestedRECost(
+        base=base, wafer_sort=sort_total, package_test=package_test
+    )

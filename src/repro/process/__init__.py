@@ -1,0 +1,24 @@
+"""Process technology database: nodes, density scaling, defect learning."""
+
+from repro.process.node import ProcessNode
+from repro.process.catalog import (
+    NODES,
+    get_node,
+    list_nodes,
+    logic_nodes,
+    packaging_nodes,
+)
+from repro.process.scaling import area_scale_factor, scale_area
+from repro.process.defects import DefectLearningCurve
+
+__all__ = [
+    "ProcessNode",
+    "NODES",
+    "get_node",
+    "list_nodes",
+    "logic_nodes",
+    "packaging_nodes",
+    "area_scale_factor",
+    "scale_area",
+    "DefectLearningCurve",
+]

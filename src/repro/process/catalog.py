@@ -1,0 +1,101 @@
+"""The default process-node catalog.
+
+Defect densities and clustering parameters for 3/5/7/14 nm, RDL and the
+silicon interposer come verbatim from the paper's Figure 2 legend.  The
+remaining logic nodes carry mature-technology defect densities in the
+same 0.05-0.09 /cm^2 band.  Wafer prices come from the CSET table
+(``repro.data.wafer_prices``), NRE factors from the calibrated anchors
+(``repro.data.nre_costs``); transistor densities are public figures used
+only as ratios.
+"""
+
+from __future__ import annotations
+
+from repro.data.nre_costs import DESIGN_COST_INDEX, MASK_SET_COSTS, NRE_ANCHOR_5NM
+from repro.data.wafer_prices import WAFER_PRICES
+from repro.errors import UnknownNodeError
+from repro.process.node import ProcessNode
+
+# (defect density /cm^2, cluster parameter).  Fig. 2 legend where given.
+_YIELD_PARAMS: dict[str, tuple[float, float]] = {
+    "3nm": (0.20, 10.0),   # Fig. 2
+    "5nm": (0.11, 10.0),   # Fig. 2
+    "7nm": (0.09, 10.0),   # Fig. 2
+    "10nm": (0.085, 10.0),
+    "12nm": (0.082, 10.0),
+    "14nm": (0.08, 10.0),  # Fig. 2
+    "16nm": (0.081, 10.0),
+    "22nm": (0.080, 10.0),
+    "28nm": (0.070, 10.0),
+    "40nm": (0.060, 10.0),
+    "65nm": (0.050, 10.0),
+    "90nm": (0.050, 10.0),
+    "rdl": (0.05, 3.0),    # Fig. 2
+    "si": (0.06, 6.0),     # Fig. 2
+}
+
+# Logic density in MTr/mm^2 (public figures; ratios only).
+_TRANSISTOR_DENSITY: dict[str, float] = {
+    "3nm": 290.0,
+    "5nm": 173.1,
+    "7nm": 91.2,
+    "10nm": 52.5,
+    "12nm": 40.0,
+    "14nm": 36.0,
+    "16nm": 28.9,
+    "22nm": 20.0,
+    "28nm": 15.3,
+    "40nm": 7.5,
+    "65nm": 2.86,
+    "90nm": 1.45,
+    "rdl": 0.0,
+    "si": 0.0,
+}
+
+_PACKAGING_NODES = frozenset({"rdl", "si"})
+
+
+def _build_node(name: str) -> ProcessNode:
+    defect_density, cluster = _YIELD_PARAMS[name]
+    index = DESIGN_COST_INDEX[name]
+    return ProcessNode(
+        name=name,
+        defect_density=defect_density,
+        cluster_param=cluster,
+        wafer_price=WAFER_PRICES[name],
+        transistor_density=_TRANSISTOR_DENSITY[name],
+        km_per_mm2=NRE_ANCHOR_5NM["km_per_mm2"] * index,
+        kc_per_mm2=NRE_ANCHOR_5NM["kc_per_mm2"] * index,
+        mask_set_cost=MASK_SET_COSTS[name],
+        ip_fixed_cost=NRE_ANCHOR_5NM["ip_fixed"] * index,
+        d2d_interface_nre=NRE_ANCHOR_5NM["d2d_interface"] * index,
+        is_packaging_node=name in _PACKAGING_NODES,
+    )
+
+
+NODES: dict[str, ProcessNode] = {name: _build_node(name) for name in _YIELD_PARAMS}
+
+
+def get_node(name: str | ProcessNode) -> ProcessNode:
+    """Resolve a node by catalog name (pass-through for node objects)."""
+    if isinstance(name, ProcessNode):
+        return name
+    try:
+        return NODES[name]
+    except KeyError:
+        raise UnknownNodeError(str(name), available=sorted(NODES)) from None
+
+
+def list_nodes() -> list[str]:
+    """All catalog node names, advanced logic first."""
+    return list(NODES)
+
+
+def logic_nodes() -> list[ProcessNode]:
+    """Catalog nodes that fabricate active logic dies."""
+    return [node for node in NODES.values() if not node.is_packaging_node]
+
+
+def packaging_nodes() -> list[ProcessNode]:
+    """Catalog nodes used only as packaging carriers (RDL, interposer)."""
+    return [node for node in NODES.values() if node.is_packaging_node]

@@ -1,0 +1,69 @@
+"""Defect-density learning curves.
+
+Defect density falls as a process matures (the paper uses ramp-era
+densities of 0.13 /cm^2 for 7 nm in the AMD validation but 0.09 /cm^2
+for the recent-data explorations).  The standard industry description is
+an exponential decay towards a mature floor; this module provides that
+curve so sensitivity studies can ask "what does the comparison look like
+N quarters into the ramp?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.process.node import ProcessNode
+
+
+@dataclass(frozen=True)
+class DefectLearningCurve:
+    """Exponential defect-density learning: D(t) = floor + (D0-floor)*exp(-t/tau).
+
+    Attributes:
+        initial_density: D0 at the start of the ramp, defects/cm^2.
+        mature_density: Asymptotic floor, defects/cm^2.
+        time_constant: Learning time constant in the same unit as ``t``
+            (conventionally quarters).
+    """
+
+    initial_density: float
+    mature_density: float
+    time_constant: float
+
+    def __post_init__(self) -> None:
+        if self.initial_density < self.mature_density:
+            raise InvalidParameterError(
+                "initial defect density must be >= the mature floor "
+                f"({self.initial_density} < {self.mature_density})"
+            )
+        if self.mature_density < 0:
+            raise InvalidParameterError("mature density must be >= 0")
+        if self.time_constant <= 0:
+            raise InvalidParameterError("time constant must be > 0")
+
+    def density_at(self, t: float) -> float:
+        """Defect density after ``t`` time units of ramp (t >= 0)."""
+        if t < 0:
+            raise InvalidParameterError(f"time must be >= 0, got {t}")
+        span = self.initial_density - self.mature_density
+        return self.mature_density + span * math.exp(-t / self.time_constant)
+
+    def node_at(self, node: ProcessNode, t: float) -> ProcessNode:
+        """A copy of ``node`` with the defect density of ramp time ``t``."""
+        return node.with_defect_density(self.density_at(t))
+
+
+def ramp_curve_for(
+    node: ProcessNode,
+    initial_density: float,
+    time_constant: float = 4.0,
+) -> DefectLearningCurve:
+    """Learning curve that starts at ``initial_density`` and matures to
+    the node's catalog defect density."""
+    return DefectLearningCurve(
+        initial_density=initial_density,
+        mature_density=node.defect_density,
+        time_constant=time_constant,
+    )

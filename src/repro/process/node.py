@@ -1,0 +1,107 @@
+"""Process node description.
+
+A :class:`ProcessNode` bundles everything the cost model needs to know
+about one fabrication technology: the negative-binomial yield parameters
+(Eq. 1 of the paper), wafer economics, logic density for heterogeneity
+studies, and the per-node NRE factors of Eq. 6.
+
+Nodes are immutable; use :meth:`ProcessNode.evolve` to derive variants
+(e.g. the early-ramp defect densities used in the AMD validation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class ProcessNode:
+    """One fabrication technology and its cost parameters.
+
+    Attributes:
+        name: Catalog name, e.g. ``"7nm"`` or ``"rdl"``.
+        defect_density: D0 in defects per cm^2 (Eq. 1).
+        cluster_param: Negative-binomial clustering parameter c (Eq. 1).
+        wafer_price: USD per processed wafer.
+        wafer_diameter: Wafer diameter in mm (300 mm default).
+        transistor_density: Logic density in MTr/mm^2; only ratios are
+            used (area scaling between nodes).  Zero for packaging nodes.
+        km_per_mm2: Module-design NRE in USD per mm^2 (Km of Eq. 6).
+        kc_per_mm2: Chip-design NRE in USD per mm^2 (Kc of Eq. 6).
+        mask_set_cost: USD for a full mask set.
+        ip_fixed_cost: Fixed per-chip NRE excluding masks (IP licensing,
+            base tape-out engineering).  ``C = mask_set_cost + ip_fixed_cost``.
+        d2d_interface_nre: One-time USD cost of designing the node's D2D
+            interface (the C_D2D_n term of Eq. 8).
+        is_packaging_node: True for RDL / silicon-interposer "nodes".
+    """
+
+    name: str
+    defect_density: float
+    cluster_param: float
+    wafer_price: float
+    wafer_diameter: float = 300.0
+    transistor_density: float = 0.0
+    km_per_mm2: float = 0.0
+    kc_per_mm2: float = 0.0
+    mask_set_cost: float = 0.0
+    ip_fixed_cost: float = 0.0
+    d2d_interface_nre: float = 0.0
+    is_packaging_node: bool = False
+
+    def __post_init__(self) -> None:
+        if self.defect_density < 0:
+            raise InvalidParameterError(
+                f"defect density must be >= 0, got {self.defect_density}"
+            )
+        if self.cluster_param <= 0:
+            raise InvalidParameterError(
+                f"cluster parameter must be > 0, got {self.cluster_param}"
+            )
+        if self.wafer_price < 0:
+            raise InvalidParameterError(
+                f"wafer price must be >= 0, got {self.wafer_price}"
+            )
+        if self.wafer_diameter <= 0:
+            raise InvalidParameterError(
+                f"wafer diameter must be > 0, got {self.wafer_diameter}"
+            )
+
+    @property
+    def wafer_area(self) -> float:
+        """Total wafer area in mm^2."""
+        import math
+
+        return math.pi * (self.wafer_diameter / 2.0) ** 2
+
+    @property
+    def wafer_cost_per_mm2(self) -> float:
+        """Raw wafer cost per mm^2 of wafer area (the Fig. 2 normalizer)."""
+        return self.wafer_price / self.wafer_area
+
+    @property
+    def fixed_chip_nre(self) -> float:
+        """The fixed per-chip NRE term C of Eq. 6 (masks + IP)."""
+        return self.mask_set_cost + self.ip_fixed_cost
+
+    def evolve(self, **changes: float) -> "ProcessNode":
+        """Return a copy with the given fields replaced.
+
+        Example::
+
+            early_7nm = get_node("7nm").evolve(defect_density=0.13)
+        """
+        return dataclasses.replace(self, **changes)
+
+    def with_defect_density(self, defect_density: float) -> "ProcessNode":
+        """Convenience wrapper used for ramp-era defect densities."""
+        return self.evolve(defect_density=defect_density)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessNode({self.name}: D0={self.defect_density}/cm^2, "
+            f"c={self.cluster_param}, wafer=${self.wafer_price:,.0f})"
+        )

@@ -1,0 +1,58 @@
+"""Area scaling between process nodes.
+
+Used by the heterogeneity studies (OCME scheme, AMD validation): a module
+designed at a reference node occupies a different area when retargeted to
+another node.  Logic area scales with the inverse transistor-density
+ratio; analog/IO area barely scales, which the model expresses with a
+*scalable fraction* in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.process.node import ProcessNode
+
+
+def area_scale_factor(
+    from_node: ProcessNode,
+    to_node: ProcessNode,
+    scalable_fraction: float = 1.0,
+) -> float:
+    """Multiplier applied to an area when moving between nodes.
+
+    Args:
+        from_node: Node at which the area is specified.
+        to_node: Node the module is retargeted to.
+        scalable_fraction: Fraction of the area that scales with logic
+            density (1.0 = pure logic, 0.0 = pure analog/IO).
+
+    Returns:
+        The factor f such that ``area_at_to_node = f * area_at_from_node``.
+    """
+    if not 0.0 <= scalable_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"scalable_fraction must be in [0, 1], got {scalable_fraction}"
+        )
+    if from_node.name == to_node.name:
+        return 1.0
+    if scalable_fraction == 0.0:
+        return 1.0
+    if from_node.transistor_density <= 0 or to_node.transistor_density <= 0:
+        raise InvalidParameterError(
+            "area scaling requires logic nodes with a transistor density "
+            f"(got {from_node.name!r} -> {to_node.name!r})"
+        )
+    density_ratio = from_node.transistor_density / to_node.transistor_density
+    return scalable_fraction * density_ratio + (1.0 - scalable_fraction)
+
+
+def scale_area(
+    area: float,
+    from_node: ProcessNode,
+    to_node: ProcessNode,
+    scalable_fraction: float = 1.0,
+) -> float:
+    """Area in mm^2 after retargeting ``area`` between nodes."""
+    if area < 0:
+        raise InvalidParameterError(f"area must be >= 0, got {area}")
+    return area * area_scale_factor(from_node, to_node, scalable_fraction)

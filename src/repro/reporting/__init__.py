@@ -1,0 +1,14 @@
+"""Reporting: fixed-width tables, figure series, ASCII charts."""
+
+from repro.reporting.table import Table
+from repro.reporting.series import Series, FigureData
+from repro.reporting.ascii_plot import bar_chart, line_chart, stacked_bar_chart
+
+__all__ = [
+    "Table",
+    "Series",
+    "FigureData",
+    "bar_chart",
+    "line_chart",
+    "stacked_bar_chart",
+]

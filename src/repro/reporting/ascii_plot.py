@@ -1,0 +1,125 @@
+"""Terminal charts: horizontal bars, stacked bars and line plots.
+
+Good enough to eyeball the paper's figures straight from the benchmark
+output without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+
+_BLOCK = "#"
+_STACK_GLYPHS = "#=+*o.~-"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart; bars scale to the max value."""
+    if len(labels) != len(values):
+        raise InvalidParameterError("labels and values must align")
+    if not labels:
+        raise InvalidParameterError("bar chart needs at least one bar")
+    if any(value < 0 for value in values):
+        raise InvalidParameterError("bar chart values must be >= 0")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _BLOCK * max(1 if value > 0 else 0, round(value / peak * width))
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    components: Mapping[str, Sequence[float]],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Horizontal stacked bars, one glyph per component, with a legend."""
+    if not labels:
+        raise InvalidParameterError("stacked chart needs at least one bar")
+    names = list(components)
+    if not names:
+        raise InvalidParameterError("stacked chart needs at least one component")
+    for name in names:
+        if len(components[name]) != len(labels):
+            raise InvalidParameterError(
+                f"component {name!r} length does not match labels"
+            )
+    totals = [
+        sum(components[name][index] for name in names)
+        for index in range(len(labels))
+    ]
+    peak = max(totals) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{_STACK_GLYPHS[index % len(_STACK_GLYPHS)]}={name}"
+        for index, name in enumerate(names)
+    )
+    lines.append(f"legend: {legend}")
+    for index, label in enumerate(labels):
+        segments = []
+        for component_index, name in enumerate(names):
+            value = components[name][index]
+            if value < 0:
+                raise InvalidParameterError("stacked values must be >= 0")
+            glyph = _STACK_GLYPHS[component_index % len(_STACK_GLYPHS)]
+            segments.append(glyph * round(value / peak * width))
+        bar = "".join(segments)
+        lines.append(f"{label.rjust(label_width)} | {bar} {totals[index]:.3f}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 16,
+    width: int = 64,
+    title: str | None = None,
+) -> str:
+    """Multi-series scatter/line chart on a character grid."""
+    if not xs:
+        raise InvalidParameterError("line chart needs x values")
+    names = list(series)
+    if not names:
+        raise InvalidParameterError("line chart needs at least one series")
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise InvalidParameterError(
+                f"series {name!r} length does not match x-axis"
+            )
+    all_ys = [y for name in names for y in series[name]]
+    y_min, y_max = min(all_ys), max(all_ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, name in enumerate(names):
+        glyph = _STACK_GLYPHS[series_index % len(_STACK_GLYPHS)]
+        for x, y in zip(xs, series[name]):
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{_STACK_GLYPHS[index % len(_STACK_GLYPHS)]}={name}"
+        for index, name in enumerate(names)
+    )
+    lines.append(f"legend: {legend}")
+    lines.append(f"y: [{y_min:.3g}, {y_max:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_min:.3g}, {x_max:.3g}]")
+    return "\n".join(lines)

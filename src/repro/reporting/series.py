@@ -1,0 +1,75 @@
+"""Figure series containers and CSV export.
+
+Experiments return :class:`FigureData` — named series over a shared
+x-axis — which benchmarks print and tests schema-check.  ``to_csv``
+writes a plain text file so results can be re-plotted externally.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named data series."""
+
+    name: str
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ys:
+            raise InvalidParameterError(f"series {self.name!r} is empty")
+
+    @staticmethod
+    def of(name: str, values: Sequence[float]) -> "Series":
+        return Series(name=name, ys=tuple(float(v) for v in values))
+
+
+@dataclass(frozen=True)
+class FigureData:
+    """Several series over a common x-axis (one paper figure or panel)."""
+
+    title: str
+    x_label: str
+    xs: tuple[object, ...]
+    series: tuple[Series, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.xs:
+            raise InvalidParameterError(f"figure {self.title!r} has no x values")
+        for entry in self.series:
+            if len(entry.ys) != len(self.xs):
+                raise InvalidParameterError(
+                    f"series {entry.name!r} has {len(entry.ys)} points, "
+                    f"x-axis has {len(self.xs)}"
+                )
+
+    def get(self, name: str) -> Series:
+        for entry in self.series:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def names(self) -> list[str]:
+        return [entry.name for entry in self.series]
+
+    def to_csv(self) -> str:
+        """Render as CSV text: x column then one column per series."""
+        buffer = io.StringIO()
+        header = [self.x_label] + [entry.name for entry in self.series]
+        buffer.write(",".join(header) + "\n")
+        for index, x in enumerate(self.xs):
+            row = [str(x)] + [
+                f"{entry.ys[index]:.6g}" for entry in self.series
+            ]
+            buffer.write(",".join(row) + "\n")
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_csv())

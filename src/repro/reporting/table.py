@@ -1,0 +1,69 @@
+"""Fixed-width text tables for benchmark and CLI output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidParameterError
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A simple fixed-width table.
+
+    Example::
+
+        table = Table(["scheme", "cost"], title="Fig. 4 @ 800 mm^2")
+        table.add_row(["SoC", 3.39])
+        print(table.render())
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        title: str | None = None,
+        precision: int = 3,
+    ):
+        if not headers:
+            raise InvalidParameterError("a table needs at least one column")
+        self.headers = list(headers)
+        self.title = title
+        self.precision = precision
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [_format_cell(value, self.precision) for value in values]
+        if len(row) != len(self.headers):
+            raise InvalidParameterError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.rjust(widths[index]) for index, cell in enumerate(cells)
+            )
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(self.headers))
+        lines.append("  ".join("-" * width for width in widths))
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

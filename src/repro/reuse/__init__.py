@@ -1,0 +1,27 @@
+"""Chiplet reuse: portfolios, package reuse, SCMS / OCME / FSMC schemes."""
+
+from repro.reuse.portfolio import Portfolio
+from repro.reuse.scms import SCMSConfig, SCMSStudy, build_scms
+from repro.reuse.ocme import OCMEConfig, OCMEStudy, build_ocme
+from repro.reuse.fsmc import (
+    FSMCConfig,
+    FSMCStudy,
+    build_fsmc,
+    collocation_count,
+    enumerate_collocations,
+)
+
+__all__ = [
+    "Portfolio",
+    "SCMSConfig",
+    "SCMSStudy",
+    "build_scms",
+    "OCMEConfig",
+    "OCMEStudy",
+    "build_ocme",
+    "FSMCConfig",
+    "FSMCStudy",
+    "build_fsmc",
+    "collocation_count",
+    "enumerate_collocations",
+]

@@ -1,0 +1,165 @@
+"""A Few Sockets Multiple Collocations (FSMC) — Section 5.3.
+
+With ``n`` distinct chiplet types sharing a footprint and a package with
+``k`` sockets, every multiset of 1..k chiplets is a buildable system;
+the paper's count is
+
+    sum over i = 1..k of C(n + i - 1, i).
+
+All collocations share the n chip designs and one k-socket package
+design, so at high reuse the amortized NRE per system becomes
+negligible — the paper's maximum-reuse end point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations_with_replacement
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.package_design import PackageDesign
+from repro.core.system import System
+from repro.d2d.overhead import FractionOverhead
+from repro.errors import InvalidParameterError
+from repro.packaging.base import IntegrationTech
+from repro.packaging.soc import soc_package
+from repro.process.catalog import get_node
+from repro.process.node import ProcessNode
+from repro.reuse.portfolio import Portfolio
+
+
+def collocation_count(n_chiplets: int, k_sockets: int) -> int:
+    """Closed form: sum_{i=1}^{k} C(n+i-1, i) distinct systems.
+
+    Note: with (n=6, k=4) this evaluates to 209; the paper's prose quotes
+    "up to 119" for the same setting, which appears to exclude some
+    collocations (it does not match the paper's own formula).  We follow
+    the formula.
+    """
+    if n_chiplets < 1 or k_sockets < 1:
+        raise InvalidParameterError("need n >= 1 chiplets and k >= 1 sockets")
+    return sum(
+        math.comb(n_chiplets + i - 1, i) for i in range(1, k_sockets + 1)
+    )
+
+
+def enumerate_collocations(
+    n_chiplets: int, k_sockets: int
+) -> list[tuple[int, ...]]:
+    """Every multiset of 1..k chiplet indices, lexicographically ordered."""
+    if n_chiplets < 1 or k_sockets < 1:
+        raise InvalidParameterError("need n >= 1 chiplets and k >= 1 sockets")
+    collocations: list[tuple[int, ...]] = []
+    for size in range(1, k_sockets + 1):
+        collocations.extend(
+            combinations_with_replacement(range(n_chiplets), size)
+        )
+    return collocations
+
+
+@dataclass(frozen=True)
+class FSMCConfig:
+    """Parameters of an FSMC study (defaults follow the paper's Fig. 10).
+
+    Attributes:
+        n_chiplets: Number of distinct chiplet types.
+        k_sockets: Sockets per package.
+        module_area: Module area of every chiplet type, mm^2.
+        node: Process node of all chiplets.
+        quantity: Production quantity per collocation.
+        d2d_fraction: D2D share of each chiplet's area.
+    """
+
+    n_chiplets: int
+    k_sockets: int
+    module_area: float = 150.0
+    node: ProcessNode = field(default_factory=lambda: get_node("7nm"))
+    quantity: float = 500_000.0
+    d2d_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.n_chiplets < 1:
+            raise InvalidParameterError("n_chiplets must be >= 1")
+        if self.k_sockets < 1:
+            raise InvalidParameterError("k_sockets must be >= 1")
+
+
+@dataclass(frozen=True)
+class FSMCStudy:
+    """FSMC portfolios: multi-chip with full reuse vs per-system SoCs."""
+
+    config: FSMCConfig
+    soc: Portfolio
+    multichip: Portfolio
+
+    @property
+    def system_count(self) -> int:
+        return len(self.multichip.systems)
+
+
+def _label(collocation: tuple[int, ...]) -> str:
+    return "".join(chr(ord("A") + index) for index in collocation)
+
+
+def build_fsmc(config: FSMCConfig, integration: IntegrationTech) -> FSMCStudy:
+    """Build the FSMC portfolios for one integration technology.
+
+    The multi-chip portfolio shares ``n`` chip designs and one k-socket
+    package design across every collocation.  The SoC portfolio shares
+    the ``n`` module designs but needs a monolithic chip (and mask set)
+    per collocation.
+    """
+    node = config.node
+    d2d = FractionOverhead(config.d2d_fraction)
+    modules = [
+        Module(f"fsmc-{chr(ord('A') + index)}", config.module_area, node)
+        for index in range(config.n_chiplets)
+    ]
+    chiplets = [
+        Chip.of(f"fsmc-{chr(ord('A') + index)}-chip", (module,), node, d2d=d2d)
+        for index, module in enumerate(modules)
+    ]
+
+    collocations = enumerate_collocations(config.n_chiplets, config.k_sockets)
+
+    shared_package = PackageDesign.for_chips(
+        name=f"{integration.name}-fsmc-package",
+        integration=integration,
+        chip_areas=(chiplets[0].area,) * config.k_sockets,
+    )
+
+    multichip_systems = [
+        System(
+            name=f"{integration.name}-{_label(collocation)}",
+            chips=tuple(chiplets[index] for index in collocation),
+            integration=integration,
+            quantity=config.quantity,
+            package=shared_package,
+        )
+        for collocation in collocations
+    ]
+
+    soc_pkg = soc_package()
+    soc_systems = []
+    for collocation in collocations:
+        die = Chip.of(
+            f"soc-{_label(collocation)}-die",
+            tuple(modules[index] for index in collocation),
+            node,
+        )
+        soc_systems.append(
+            System(
+                name=f"soc-{_label(collocation)}",
+                chips=(die,),
+                integration=soc_pkg,
+                quantity=config.quantity,
+            )
+        )
+
+    return FSMCStudy(
+        config=config,
+        soc=Portfolio(soc_systems),
+        multichip=Portfolio(multichip_systems),
+    )

@@ -1,0 +1,213 @@
+"""One Center Multiple Extensions (OCME) — Section 5.2.
+
+A reused center die (C) sits in the middle of the package; extension
+dies with a common footprint (X, Y, ...) are placed in sockets around
+it.  Four portfolio variants are compared:
+
+* monolithic SoC per system (modules reused, chips not),
+* ordinary MCM (chips reused, package per system),
+* package-reused MCM (one package design for all systems),
+* package-reused *heterogeneous* MCM (the center die moved to a mature
+  node; its modules are "unscalable" — they do not benefit from the
+  advanced node, so the move is free in area and saves wafer and NRE
+  cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.package_design import PackageDesign
+from repro.core.system import System
+from repro.d2d.overhead import FractionOverhead
+from repro.errors import InvalidParameterError
+from repro.packaging.base import IntegrationTech
+from repro.packaging.soc import soc_package
+from repro.process.catalog import get_node
+from repro.process.node import ProcessNode
+from repro.reuse.portfolio import Portfolio
+
+
+@dataclass(frozen=True)
+class OCMEConfig:
+    """Parameters of an OCME study (defaults are the paper's Fig. 9).
+
+    The paper's example is a 7 nm system with four 160 mm^2 sockets and
+    two extension die types {X, Y}; the four products are C, C+1X,
+    C+1X+1Y and C+2X+2Y, each produced 500k times.
+
+    Attributes:
+        socket_area: Module area of every die (center and extensions).
+        node: Advanced node for extension dies (and C when homogeneous).
+        center_node: Mature node for C in the heterogeneous variant.
+        extension_sockets: Socket count around the center die.
+        systems: Extension multiset per product, as counts of each
+            extension type; e.g. ``((0, 0), (1, 0), (1, 1), (2, 2))``.
+        quantity: Production quantity per product.
+        d2d_fraction: D2D share of each chiplet's area.
+        center_scalable_fraction: Share of the center die's area that
+            scales with logic density (0.0 = pure IO/analog — the
+            paper's "unscalable" module).
+    """
+
+    socket_area: float = 160.0
+    node: ProcessNode = field(default_factory=lambda: get_node("7nm"))
+    center_node: ProcessNode = field(default_factory=lambda: get_node("14nm"))
+    extension_sockets: int = 4
+    systems: tuple[tuple[int, ...], ...] = ((0, 0), (1, 0), (1, 1), (2, 2))
+    quantity: float = 500_000.0
+    d2d_fraction: float = 0.10
+    center_scalable_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extension_sockets < 1:
+            raise InvalidParameterError("need at least one extension socket")
+        if not self.systems:
+            raise InvalidParameterError("OCME needs at least one system")
+        widths = {len(counts) for counts in self.systems}
+        if len(widths) != 1:
+            raise InvalidParameterError(
+                "every system must list a count per extension type"
+            )
+        for counts in self.systems:
+            if any(count < 0 for count in counts):
+                raise InvalidParameterError("extension counts must be >= 0")
+            if sum(counts) > self.extension_sockets:
+                raise InvalidParameterError(
+                    f"system {counts} exceeds {self.extension_sockets} sockets"
+                )
+
+    @property
+    def extension_types(self) -> int:
+        return len(self.systems[0])
+
+    def system_label(self, counts: Sequence[int]) -> str:
+        """Label like "C+1X+1Y" for one product."""
+        parts = ["C"]
+        for index, count in enumerate(counts):
+            if count:
+                parts.append(f"{count}{chr(ord('X') + index)}")
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
+class OCMEStudy:
+    """The four OCME portfolio variants."""
+
+    config: OCMEConfig
+    soc: Portfolio
+    mcm: Portfolio
+    mcm_package_reused: Portfolio
+    mcm_heterogeneous: Portfolio
+
+    def labels(self) -> list[str]:
+        return [self.config.system_label(counts) for counts in self.config.systems]
+
+
+def _extension_names(count: int) -> list[str]:
+    return [chr(ord("X") + index) for index in range(count)]
+
+
+def build_ocme(config: OCMEConfig, integration: IntegrationTech) -> OCMEStudy:
+    """Build the four OCME portfolios for one integration technology."""
+    node = config.node
+    d2d = FractionOverhead(config.d2d_fraction)
+
+    center_module = Module(
+        "ocme-C",
+        config.socket_area,
+        node,
+        scalable_fraction=config.center_scalable_fraction,
+    )
+    extension_modules = [
+        Module(f"ocme-{name}", config.socket_area, node)
+        for name in _extension_names(config.extension_types)
+    ]
+
+    center_chip = Chip.of("ocme-C-chip", (center_module,), node, d2d=d2d)
+    center_chip_mature = Chip.of(
+        "ocme-C-chip-mature", (center_module,), config.center_node, d2d=d2d
+    )
+    extension_chips = [
+        Chip.of(f"ocme-{name}-chip", (module,), node, d2d=d2d)
+        for name, module in zip(
+            _extension_names(config.extension_types), extension_modules
+        )
+    ]
+
+    def chips_for(counts: Sequence[int], center: Chip) -> tuple[Chip, ...]:
+        chips: list[Chip] = [center]
+        for chip, count in zip(extension_chips, counts):
+            chips.extend([chip] * count)
+        return tuple(chips)
+
+    soc_pkg = soc_package()
+    soc_systems = []
+    for counts in config.systems:
+        modules: list[Module] = [center_module]
+        for module, count in zip(extension_modules, counts):
+            modules.extend([module] * count)
+        die = Chip.of(f"soc-{config.system_label(counts)}-die", modules, node)
+        soc_systems.append(
+            System(
+                name=f"soc-{config.system_label(counts)}",
+                chips=(die,),
+                integration=soc_pkg,
+                quantity=config.quantity,
+            )
+        )
+
+    mcm_systems = [
+        System(
+            name=f"{integration.name}-{config.system_label(counts)}",
+            chips=chips_for(counts, center_chip),
+            integration=integration,
+            quantity=config.quantity,
+        )
+        for counts in config.systems
+    ]
+
+    full_package = PackageDesign.for_chips(
+        name=f"{integration.name}-ocme-package",
+        integration=integration,
+        chip_areas=(center_chip.area,)
+        + (extension_chips[0].area,) * config.extension_sockets,
+    )
+    reused_systems = [
+        System(
+            name=f"{integration.name}-{config.system_label(counts)}-pkgreuse",
+            chips=chips_for(counts, center_chip),
+            integration=integration,
+            quantity=config.quantity,
+            package=full_package,
+        )
+        for counts in config.systems
+    ]
+
+    hetero_package = PackageDesign.for_chips(
+        name=f"{integration.name}-ocme-hetero-package",
+        integration=integration,
+        chip_areas=(center_chip_mature.area,)
+        + (extension_chips[0].area,) * config.extension_sockets,
+    )
+    hetero_systems = [
+        System(
+            name=f"{integration.name}-{config.system_label(counts)}-hetero",
+            chips=chips_for(counts, center_chip_mature),
+            integration=integration,
+            quantity=config.quantity,
+            package=hetero_package,
+        )
+        for counts in config.systems
+    ]
+
+    return OCMEStudy(
+        config=config,
+        soc=Portfolio(soc_systems),
+        mcm=Portfolio(mcm_systems),
+        mcm_package_reused=Portfolio(reused_systems),
+        mcm_heterogeneous=Portfolio(hetero_systems),
+    )

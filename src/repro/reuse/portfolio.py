@@ -1,0 +1,232 @@
+"""System portfolios with shared-design NRE amortization (Eqs. 7-8).
+
+A portfolio is a group of systems built from (possibly shared) modules,
+chips and package designs.  Sharing is expressed by object identity:
+two systems that reference the same :class:`~repro.core.chip.Chip`
+object share one chip design, so its NRE is paid once and amortized over
+every instance produced.
+
+Amortization rule: a design's NRE is divided equally over every *system
+unit* produced that contains the design (at least once); a unit with
+four instances of a chiplet bears the same share as a unit with one.
+This matches the paper's Figure 8 arithmetic: reusing one chiplet across
+three grades cuts the largest grade's chip NRE by ~3/4 (an equal
+three-way split of one design), and sharing the package design across
+the three grades cuts its amortized NRE by exactly two thirds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.breakdown import NRECost, TotalCost
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.nre_cost import chip_design_nre
+from repro.core.re_cost import compute_re_cost
+from repro.core.system import System
+from repro.errors import EmptySystemError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class _DesignUnit:
+    """One amortizable design: its NRE and production denominator.
+
+    ``total_units`` is the sum of quantities of every system containing
+    the design (each system counted once, regardless of how many
+    instances of the design it holds).
+    """
+
+    nre: float
+    total_units: float
+
+
+class Portfolio:
+    """A group of systems sharing module/chip/package designs."""
+
+    def __init__(self, systems: Iterable[System]):
+        self.systems: tuple[System, ...] = tuple(systems)
+        if not self.systems:
+            raise EmptySystemError("a portfolio needs at least one system")
+        names = [system.name for system in self.systems]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(
+                "portfolio systems must have unique names"
+            )
+        self._module_units = self._collect_module_units()
+        self._chip_units = self._collect_chip_units()
+        self._package_units = self._collect_package_units()
+        self._d2d_units = self._collect_d2d_units()
+
+    # ------------------------------------------------------------------
+    # Design-unit discovery
+    # ------------------------------------------------------------------
+
+    def _collect_module_units(self) -> dict[tuple[int, str], _DesignUnit]:
+        """Module design units keyed by (module identity, node name).
+
+        The same module object placed on chips at two different nodes is
+        two designs (the paper treats per-node variants as diverse
+        modules).
+        """
+        totals: dict[tuple[int, str], float] = {}
+        nre: dict[tuple[int, str], float] = {}
+        for system in self.systems:
+            keys: set[tuple[int, str]] = set()
+            for chip, _count in system.unique_chips():
+                for module in chip.unique_modules():
+                    key = (id(module), chip.node.name)
+                    keys.add(key)
+                    nre[key] = (
+                        chip.node.km_per_mm2 * module.area_at(chip.node)
+                    )
+            for key in keys:
+                totals[key] = totals.get(key, 0.0) + system.quantity
+        return {
+            key: _DesignUnit(nre=nre[key], total_units=totals[key])
+            for key in totals
+        }
+
+    def _collect_chip_units(self) -> dict[int, _DesignUnit]:
+        totals: dict[int, float] = {}
+        nre: dict[int, float] = {}
+        for system in self.systems:
+            for chip, _count in system.unique_chips():
+                key = id(chip)
+                totals[key] = totals.get(key, 0.0) + system.quantity
+                nre[key] = chip_design_nre(chip)
+        return {
+            key: _DesignUnit(nre=nre[key], total_units=totals[key])
+            for key in totals
+        }
+
+    def _collect_package_units(self) -> dict[int, _DesignUnit]:
+        """Shared package designs; systems without one own their package."""
+        totals: dict[int, float] = {}
+        nre: dict[int, float] = {}
+        for system in self.systems:
+            if system.package is None:
+                continue
+            key = id(system.package)
+            totals[key] = totals.get(key, 0.0) + system.quantity
+            nre[key] = system.package.nre
+        return {
+            key: _DesignUnit(nre=nre[key], total_units=totals[key])
+            for key in totals
+        }
+
+    def _collect_d2d_units(self) -> dict[str, _DesignUnit]:
+        """One D2D interface design per process node (Eq. 8)."""
+        totals: dict[str, float] = {}
+        nre: dict[str, float] = {}
+        for system in self.systems:
+            names = {
+                chip.node.name
+                for chip, _count in system.unique_chips()
+                if chip.is_chiplet
+            }
+            for name in names:
+                totals[name] = totals.get(name, 0.0) + system.quantity
+            for chip, _count in system.unique_chips():
+                if chip.is_chiplet:
+                    nre[chip.node.name] = chip.node.d2d_interface_nre
+        return {
+            key: _DesignUnit(nre=nre[key], total_units=totals[key])
+            for key in totals
+        }
+
+    # ------------------------------------------------------------------
+    # Portfolio-level aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_quantity(self) -> float:
+        return sum(system.quantity for system in self.systems)
+
+    def total_nre(self) -> NRECost:
+        """One-time cost of the whole portfolio, each design paid once."""
+        modules = sum(unit.nre for unit in self._module_units.values())
+        chips = sum(unit.nre for unit in self._chip_units.values())
+        d2d = sum(unit.nre for unit in self._d2d_units.values())
+        packages = sum(unit.nre for unit in self._package_units.values())
+        for system in self.systems:
+            if system.package is None:
+                packages += system.integration.package_nre(system.chip_areas)
+        return NRECost(modules=modules, chips=chips, packages=packages, d2d=d2d)
+
+    # ------------------------------------------------------------------
+    # Per-system amortized cost
+    # ------------------------------------------------------------------
+
+    def _require_member(self, system: System) -> None:
+        if not any(member is system for member in self.systems):
+            raise InvalidParameterError(
+                f"system {system.name!r} is not part of this portfolio"
+            )
+
+    def amortized_nre(self, system: System) -> NRECost:
+        """Per-unit NRE share borne by one unit of ``system``.
+
+        Every design used by the system contributes NRE / total units of
+        all systems containing it — once, no matter how many instances
+        the system holds.
+        """
+        self._require_member(system)
+        module_keys: set[tuple[int, str]] = set()
+        chip_keys: set[int] = set()
+        d2d_keys: set[str] = set()
+        for chip, _count in system.unique_chips():
+            for module in chip.unique_modules():
+                module_keys.add((id(module), chip.node.name))
+            chip_keys.add(id(chip))
+            if chip.is_chiplet:
+                d2d_keys.add(chip.node.name)
+
+        modules = sum(
+            self._module_units[key].nre / self._module_units[key].total_units
+            for key in module_keys
+        )
+        chips = sum(
+            self._chip_units[key].nre / self._chip_units[key].total_units
+            for key in chip_keys
+        )
+        d2d = sum(
+            self._d2d_units[key].nre / self._d2d_units[key].total_units
+            for key in d2d_keys
+        )
+
+        if system.package is not None:
+            pkg_unit = self._package_units[id(system.package)]
+            packages = pkg_unit.nre / pkg_unit.total_units
+        else:
+            packages = (
+                system.integration.package_nre(system.chip_areas)
+                / system.quantity
+            )
+        return NRECost(modules=modules, chips=chips, packages=packages, d2d=d2d)
+
+    def amortized_cost(self, system: System) -> TotalCost:
+        """Per-unit total cost (RE + amortized NRE shares) of a member."""
+        return TotalCost(
+            re=compute_re_cost(system),
+            amortized_nre=self.amortized_nre(system),
+            quantity=system.quantity,
+        )
+
+    def average_cost(self) -> float:
+        """Quantity-weighted average per-unit total cost of the portfolio."""
+        spend = sum(
+            self.amortized_cost(system).total * system.quantity
+            for system in self.systems
+        )
+        return spend / self.total_quantity
+
+    def __len__(self) -> int:
+        return len(self.systems)
+
+    def __iter__(self):
+        return iter(self.systems)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Portfolio({len(self.systems)} systems, {self.total_quantity:g} units)"

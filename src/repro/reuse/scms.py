@@ -1,0 +1,146 @@
+"""Single Chiplet Multiple Systems (SCMS) — Section 5.1.
+
+One chiplet design is instantiated 1x / 2x / 4x (configurable) to build
+a product line of several grades.  The SoC baseline builds each grade as
+a monolithic die that reuses the same *module* but needs its own chip
+design and mask set.  Optionally the largest package is designed once
+and reused by the smaller grades (package reuse), trading RE waste on
+oversized substrates against package-NRE amortization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.package_design import PackageDesign
+from repro.core.system import System
+from repro.d2d.overhead import FractionOverhead
+from repro.errors import InvalidParameterError
+from repro.packaging.base import IntegrationTech
+from repro.packaging.soc import soc_package
+from repro.process.catalog import get_node
+from repro.process.node import ProcessNode
+from repro.reuse.portfolio import Portfolio
+
+
+@dataclass(frozen=True)
+class SCMSConfig:
+    """Parameters of an SCMS study (defaults are the paper's Fig. 8).
+
+    Attributes:
+        module_area: Functional area of the chiplet's module, mm^2.
+        node: Process node of the chiplet.
+        counts: Chiplet multiplicities of the product grades (1X/2X/4X).
+        quantity: Production quantity per grade.
+        d2d_fraction: D2D share of each chiplet's area.
+        symmetrical: The paper's footnote 3 — symmetrical placement
+            needs a symmetrical chiplet; set False to model a mirrored
+            pair instead (two chip designs sharing one module, doubling
+            the chip NRE while the RE stays put).
+    """
+
+    module_area: float = 200.0
+    node: ProcessNode = field(default_factory=lambda: get_node("7nm"))
+    counts: tuple[int, ...] = (1, 2, 4)
+    quantity: float = 500_000.0
+    d2d_fraction: float = 0.10
+    symmetrical: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise InvalidParameterError("SCMS needs at least one grade")
+        if any(count < 1 for count in self.counts):
+            raise InvalidParameterError("grade counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class SCMSStudy:
+    """The portfolios an SCMS study compares.
+
+    Attributes:
+        config: Input parameters.
+        soc: Monolithic baseline (module reused, one chip per grade).
+        chiplet: Multi-chip portfolio (one chiplet, one package per grade).
+        chiplet_package_reused: Multi-chip portfolio where every grade
+            shares the package designed for the largest grade.
+    """
+
+    config: SCMSConfig
+    soc: Portfolio
+    chiplet: Portfolio
+    chiplet_package_reused: Portfolio
+
+    def grades(self) -> tuple[int, ...]:
+        return self.config.counts
+
+
+def build_scms(
+    config: SCMSConfig,
+    integration: IntegrationTech,
+) -> SCMSStudy:
+    """Build the three SCMS portfolios for one integration technology."""
+    node = config.node
+    module = Module("scms-module", config.module_area, node)
+    d2d = FractionOverhead(config.d2d_fraction)
+    chiplet = Chip.of("scms-chiplet", (module,), node, d2d=d2d)
+    if config.symmetrical:
+        mirror = chiplet
+    else:
+        # A mirrored twin: same module (its NRE is shared), but a
+        # distinct chip design and mask set.
+        mirror = Chip.of("scms-chiplet-mirror", (module,), node, d2d=d2d)
+
+    def instances(count: int) -> tuple[Chip, ...]:
+        """Alternate base and mirror dies around the package."""
+        return tuple(
+            chiplet if index % 2 == 0 else mirror for index in range(count)
+        )
+
+    soc_pkg = soc_package()
+    soc_systems = []
+    for count in config.counts:
+        die = Chip.of(f"soc-{count}x-die", (module,) * count, node)
+        soc_systems.append(
+            System(
+                name=f"soc-{count}x",
+                chips=(die,),
+                integration=soc_pkg,
+                quantity=config.quantity,
+            )
+        )
+
+    plain_systems = [
+        System(
+            name=f"{integration.name}-{count}x",
+            chips=instances(count),
+            integration=integration,
+            quantity=config.quantity,
+        )
+        for count in config.counts
+    ]
+
+    largest = max(config.counts)
+    shared_package = PackageDesign.for_chips(
+        name=f"{integration.name}-{largest}x-package",
+        integration=integration,
+        chip_areas=(chiplet.area,) * largest,
+    )
+    reused_systems = [
+        System(
+            name=f"{integration.name}-{count}x-pkgreuse",
+            chips=instances(count),
+            integration=integration,
+            quantity=config.quantity,
+            package=shared_package,
+        )
+        for count in config.counts
+    ]
+
+    return SCMSStudy(
+        config=config,
+        soc=Portfolio(soc_systems),
+        chiplet=Portfolio(plain_systems),
+        chiplet_package_reused=Portfolio(reused_systems),
+    )

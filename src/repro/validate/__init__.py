@@ -1,0 +1,17 @@
+"""Validation reference configurations (AMD-style chiplet products)."""
+
+from repro.validate.amd import (
+    AMDConfig,
+    AMDComparison,
+    build_amd_mcm,
+    build_amd_monolithic,
+    compare_amd,
+)
+
+__all__ = [
+    "AMDConfig",
+    "AMDComparison",
+    "build_amd_mcm",
+    "build_amd_monolithic",
+    "compare_amd",
+]

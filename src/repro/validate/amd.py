@@ -1,0 +1,192 @@
+"""AMD EPYC/Ryzen-style validation configuration (Fig. 5).
+
+The paper validates its RE model on AMD's chiplet architecture: 7 nm
+compute dies (CCDs, 8 cores each, ~74 mm^2) around a 12 nm IO die (IOD),
+against a hypothetical monolithic 7 nm SoC.  Because the Zen3 project
+was planned while TSMC 7 nm / GF 12 nm were ramping, the paper uses
+ramp-era defect densities (0.13 for 7 nm, 0.12 for 12 nm, after the
+AnandTech data).
+
+The IO die barely benefits from 7 nm, which the model expresses with a
+low scalable fraction for the IO module when the monolithic variant
+retargets it to 7 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.re_cost import compute_re_cost
+from repro.core.system import System
+from repro.d2d.overhead import FractionOverhead
+from repro.errors import InvalidParameterError
+from repro.packaging.base import IntegrationTech
+from repro.packaging.mcm import mcm
+from repro.packaging.soc import soc_package
+from repro.process.catalog import get_node
+from repro.process.node import ProcessNode
+
+
+@dataclass(frozen=True)
+class AMDConfig:
+    """Parameters of the AMD-style validation.
+
+    Attributes:
+        ccd_area: CCD die area in mm^2 (public Zen2/Zen3 figures ~74).
+        cores_per_ccd: Cores per CCD.
+        iod_area: IO die area in mm^2 (Rome-class server IOD).
+        compute_node: CCD node with ramp-era defect density.
+        io_node: IOD node with ramp-era defect density.
+        io_scalable_fraction: Share of the IOD that shrinks when ported
+            to the compute node (IO/analog scales poorly).
+        d2d_fraction: D2D share of each chiplet's area.
+        core_counts: Product line core counts.
+    """
+
+    ccd_area: float = 74.0
+    cores_per_ccd: int = 8
+    iod_area: float = 416.0
+    compute_node: ProcessNode = field(
+        default_factory=lambda: get_node("7nm").with_defect_density(0.13)
+    )
+    io_node: ProcessNode = field(
+        default_factory=lambda: get_node("12nm").with_defect_density(0.12)
+    )
+    io_scalable_fraction: float = 0.6
+    d2d_fraction: float = 0.10
+    core_counts: tuple[int, ...] = (16, 24, 32, 48, 64)
+
+    def __post_init__(self) -> None:
+        if self.ccd_area <= 0 or self.iod_area <= 0:
+            raise InvalidParameterError("die areas must be > 0")
+        if self.cores_per_ccd < 1:
+            raise InvalidParameterError("cores_per_ccd must be >= 1")
+        for cores in self.core_counts:
+            if cores % self.cores_per_ccd != 0:
+                raise InvalidParameterError(
+                    f"{cores} cores is not a whole number of CCDs"
+                )
+
+    def ccd_count(self, cores: int) -> int:
+        return cores // self.cores_per_ccd
+
+    def core_module(self) -> Module:
+        """Module content of one CCD (the non-D2D share of its area)."""
+        overhead = FractionOverhead(self.d2d_fraction)
+        module_area = self.ccd_area * (1.0 - overhead.fraction)
+        return Module("amd-ccd-cores", module_area, self.compute_node)
+
+    def io_module(self) -> Module:
+        """Module content of the IOD (scales poorly to advanced nodes)."""
+        overhead = FractionOverhead(self.d2d_fraction)
+        module_area = self.iod_area * (1.0 - overhead.fraction)
+        return Module(
+            "amd-io",
+            module_area,
+            self.io_node,
+            scalable_fraction=self.io_scalable_fraction,
+        )
+
+
+def build_amd_mcm(
+    config: AMDConfig,
+    cores: int,
+    core_module: Module | None = None,
+    io_module: Module | None = None,
+    integration: IntegrationTech | None = None,
+) -> System:
+    """Chiplet product: N CCDs + one IOD on an organic substrate."""
+    d2d = FractionOverhead(config.d2d_fraction)
+    core = core_module if core_module is not None else config.core_module()
+    io = io_module if io_module is not None else config.io_module()
+    ccd = Chip.of("amd-ccd", (core,), config.compute_node, d2d=d2d)
+    iod = Chip.of("amd-iod", (io,), config.io_node, d2d=d2d)
+    chips = (ccd,) * config.ccd_count(cores) + (iod,)
+    return System(
+        name=f"amd-mcm-{cores}c",
+        chips=chips,
+        integration=integration if integration is not None else mcm(),
+    )
+
+
+def build_amd_monolithic(
+    config: AMDConfig,
+    cores: int,
+    core_module: Module | None = None,
+    io_module: Module | None = None,
+) -> System:
+    """Hypothetical monolithic 7 nm SoC with the same content.
+
+    The IO module is retargeted to the compute node; only its scalable
+    fraction shrinks.  No D2D interface is needed on a monolithic die.
+    """
+    core = core_module if core_module is not None else config.core_module()
+    io = io_module if io_module is not None else config.io_module()
+    modules = (core,) * config.ccd_count(cores) + (io,)
+    die = Chip.of(f"amd-mono-{cores}c-die", modules, config.compute_node)
+    return System(
+        name=f"amd-mono-{cores}c", chips=(die,), integration=soc_package()
+    )
+
+
+@dataclass(frozen=True)
+class AMDComparison:
+    """RE comparison for one core count."""
+
+    cores: int
+    mcm_re: float
+    mcm_die_cost: float
+    mcm_packaging: float
+    mono_re: float
+    mono_die_cost: float
+    mono_packaging: float
+    mono_die_area: float
+
+    @property
+    def mcm_packaging_share(self) -> float:
+        return self.mcm_packaging / self.mcm_re
+
+    @property
+    def mono_packaging_share(self) -> float:
+        return self.mono_packaging / self.mono_re
+
+    @property
+    def die_cost_saving(self) -> float:
+        """Chiplet die-cost saving vs monolithic (the paper: up to 50%)."""
+        if self.mono_die_cost == 0:
+            return 0.0
+        return 1.0 - self.mcm_die_cost / self.mono_die_cost
+
+    @property
+    def total_saving(self) -> float:
+        if self.mono_re == 0:
+            return 0.0
+        return 1.0 - self.mcm_re / self.mono_re
+
+
+def compare_amd(config: AMDConfig | None = None) -> list[AMDComparison]:
+    """RE comparison across the product line (Fig. 5 content)."""
+    cfg = config if config is not None else AMDConfig()
+    core = cfg.core_module()
+    io = cfg.io_module()
+    rows = []
+    for cores in cfg.core_counts:
+        mcm_system = build_amd_mcm(cfg, cores, core, io)
+        mono_system = build_amd_monolithic(cfg, cores, core, io)
+        mcm_re = compute_re_cost(mcm_system)
+        mono_re = compute_re_cost(mono_system)
+        rows.append(
+            AMDComparison(
+                cores=cores,
+                mcm_re=mcm_re.total,
+                mcm_die_cost=mcm_re.chips_total,
+                mcm_packaging=mcm_re.packaging_total,
+                mono_re=mono_re.total,
+                mono_die_cost=mono_re.chips_total,
+                mono_packaging=mono_re.packaging_total,
+                mono_die_area=mono_system.chips[0].area,
+            )
+        )
+    return rows

@@ -1,0 +1,31 @@
+"""Wafer geometry, pricing and die cost."""
+
+from repro.wafer.geometry import (
+    RETICLE_LIMIT_MM2,
+    WaferGeometry,
+    dies_per_wafer,
+    wafer_utilization,
+    fits_reticle,
+)
+from repro.wafer.die import DieCost, DieSpec, die_cost
+from repro.wafer.harvest import (
+    NO_HARVEST,
+    HarvestSpec,
+    harvest_saving,
+    harvested_die_cost,
+)
+
+__all__ = [
+    "NO_HARVEST",
+    "HarvestSpec",
+    "harvest_saving",
+    "harvested_die_cost",
+    "RETICLE_LIMIT_MM2",
+    "WaferGeometry",
+    "dies_per_wafer",
+    "wafer_utilization",
+    "fits_reticle",
+    "DieCost",
+    "DieSpec",
+    "die_cost",
+]

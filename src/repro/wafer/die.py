@@ -1,0 +1,127 @@
+"""Die specification and manufacturing cost.
+
+A :class:`DieSpec` ties an area to a process node; :func:`die_cost`
+evaluates the recurring cost of one *known good die* and itemizes it the
+way the paper's Figure 4 does: the raw (yield-free) cost and the
+defect-loss cost, such that ``raw + defect = raw / yield``.
+
+Costs are normalized helpers are provided for Figure 2: cost per mm^2
+divided by the raw wafer cost per mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.process.catalog import get_node
+from repro.process.node import ProcessNode
+from repro.wafer.geometry import WaferGeometry
+from repro.yieldmodel.models import YieldModel, yield_model_for_node
+
+
+@dataclass(frozen=True)
+class DieSpec:
+    """A die of a given area on a given node.
+
+    Attributes:
+        area: Die area in mm^2.
+        node: Process node (catalog name or :class:`ProcessNode`).
+        geometry: Wafer geometry; defaults to the node's wafer diameter
+            with no edge exclusion or scribe (the paper's setting).
+    """
+
+    area: float
+    node: ProcessNode
+    geometry: WaferGeometry | None = None
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise InvalidParameterError(f"die area must be > 0, got {self.area}")
+
+    @staticmethod
+    def of(area: float, node: str | ProcessNode) -> "DieSpec":
+        """Build a spec resolving the node by catalog name."""
+        return DieSpec(area=area, node=get_node(node))
+
+    @property
+    def wafer_geometry(self) -> WaferGeometry:
+        if self.geometry is not None:
+            return self.geometry
+        return WaferGeometry(diameter=self.node.wafer_diameter)
+
+    @property
+    def dies_per_wafer(self) -> int:
+        return self.wafer_geometry.dies_per_wafer(self.area)
+
+    @property
+    def die_yield(self) -> float:
+        return yield_model_for_node(self.node).die_yield(self.area)
+
+
+@dataclass(frozen=True)
+class DieCost:
+    """Itemized recurring cost of one known good die (USD).
+
+    ``raw`` is the wafer cost share of one die candidate; ``defect`` is
+    the extra spend caused by yield loss; ``total = raw + defect`` is the
+    cost of one known good die.
+    """
+
+    spec: DieSpec
+    raw: float
+    defect: float
+    die_yield: float
+    dies_per_wafer: int
+
+    @property
+    def total(self) -> float:
+        return self.raw + self.defect
+
+    @property
+    def per_mm2(self) -> float:
+        """Good-die cost per mm^2 of die area."""
+        return self.total / self.spec.area
+
+    @property
+    def normalized_per_mm2(self) -> float:
+        """Fig. 2 metric: good-die cost per mm^2 over raw wafer cost per mm^2."""
+        wafer_cost_per_mm2 = self.spec.node.wafer_cost_per_mm2
+        if wafer_cost_per_mm2 == 0.0:
+            raise InvalidParameterError(
+                f"node {self.spec.node.name!r} has a zero wafer price"
+            )
+        return self.per_mm2 / wafer_cost_per_mm2
+
+
+def die_cost(
+    spec: DieSpec,
+    yield_model: YieldModel | None = None,
+) -> DieCost:
+    """Recurring cost of one known good die.
+
+    Args:
+        spec: Die specification.
+        yield_model: Override for the node's default negative-binomial
+            model (used by model-comparison studies).
+
+    Raises:
+        InvalidParameterError: If the die is too large for the wafer.
+    """
+    model = yield_model if yield_model is not None else yield_model_for_node(spec.node)
+    dpw = spec.wafer_geometry.dies_per_wafer(spec.area)
+    if dpw <= 0:
+        raise InvalidParameterError(
+            f"die of {spec.area:.0f} mm^2 does not fit on a "
+            f"{spec.wafer_geometry.diameter:.0f} mm wafer"
+        )
+    die_yield = model.die_yield(spec.area)
+    raw = spec.node.wafer_price / dpw
+    total = raw / die_yield
+    return DieCost(
+        spec=spec,
+        raw=raw,
+        defect=total - raw,
+        die_yield=die_yield,
+        dies_per_wafer=dpw,
+    )

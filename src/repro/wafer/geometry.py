@@ -1,0 +1,107 @@
+"""Wafer geometry: dies per wafer, utilization, reticle checks.
+
+Uses the standard round-wafer approximation
+
+    DPW(S) = floor( pi * (d/2)^2 / S  -  pi * d / sqrt(2 * S) )
+
+where the second term accounts for partial dies at the wafer edge.
+Optional refinements: edge exclusion (shrinks the usable diameter) and
+scribe lanes (inflate the effective die area).  Defaults reproduce the
+paper's setting (no exclusion, no scribe).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError, ReticleLimitError
+
+# Standard lithographic field: 26 mm x 33 mm.
+RETICLE_LIMIT_MM2 = 26.0 * 33.0
+
+
+def fits_reticle(area: float, limit: float = RETICLE_LIMIT_MM2) -> bool:
+    """True when a die of ``area`` mm^2 fits in one reticle field."""
+    return area <= limit
+
+
+@dataclass(frozen=True)
+class WaferGeometry:
+    """Geometry of one wafer type.
+
+    Attributes:
+        diameter: Wafer diameter in mm.
+        edge_exclusion: Unusable ring width at the wafer edge, mm.
+        scribe_width: Saw-street width added to each die dimension, mm.
+    """
+
+    diameter: float = 300.0
+    edge_exclusion: float = 0.0
+    scribe_width: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.diameter <= 0:
+            raise InvalidParameterError("wafer diameter must be > 0")
+        if self.edge_exclusion < 0:
+            raise InvalidParameterError("edge exclusion must be >= 0")
+        if self.scribe_width < 0:
+            raise InvalidParameterError("scribe width must be >= 0")
+        if 2 * self.edge_exclusion >= self.diameter:
+            raise InvalidParameterError(
+                "edge exclusion consumes the whole wafer"
+            )
+
+    @property
+    def usable_diameter(self) -> float:
+        return self.diameter - 2.0 * self.edge_exclusion
+
+    @property
+    def wafer_area(self) -> float:
+        """Gross wafer area in mm^2 (no exclusion applied)."""
+        return math.pi * (self.diameter / 2.0) ** 2
+
+    def effective_die_area(self, area: float) -> float:
+        """Die area inflated by the scribe lane (square-die approximation)."""
+        if area <= 0:
+            raise InvalidParameterError(f"die area must be > 0, got {area}")
+        if self.scribe_width == 0.0:
+            return area
+        side = math.sqrt(area)
+        return (side + self.scribe_width) ** 2
+
+    def dies_per_wafer(self, area: float) -> int:
+        """Whole candidate dies per wafer for a die of ``area`` mm^2."""
+        effective = self.effective_die_area(area)
+        usable = self.usable_diameter
+        gross = math.pi * (usable / 2.0) ** 2 / effective
+        edge_loss = math.pi * usable / math.sqrt(2.0 * effective)
+        return max(0, math.floor(gross - edge_loss))
+
+    def utilization(self, area: float) -> float:
+        """Fraction of gross wafer area that ends up in whole dies."""
+        count = self.dies_per_wafer(area)
+        return count * area / self.wafer_area
+
+    def check_reticle(self, area: float, strict: bool = False) -> bool:
+        """Reticle check; raises in strict mode, else returns the verdict."""
+        ok = fits_reticle(area)
+        if strict and not ok:
+            raise ReticleLimitError(area, RETICLE_LIMIT_MM2)
+        return ok
+
+
+def dies_per_wafer(
+    area: float,
+    diameter: float = 300.0,
+    edge_exclusion: float = 0.0,
+    scribe_width: float = 0.0,
+) -> int:
+    """Functional form of :meth:`WaferGeometry.dies_per_wafer`."""
+    geometry = WaferGeometry(diameter, edge_exclusion, scribe_width)
+    return geometry.dies_per_wafer(area)
+
+
+def wafer_utilization(area: float, diameter: float = 300.0) -> float:
+    """Functional form of :meth:`WaferGeometry.utilization`."""
+    return WaferGeometry(diameter).utilization(area)

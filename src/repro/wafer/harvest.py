@@ -1,0 +1,88 @@
+"""Die harvesting / binning (extension beyond the paper).
+
+Industry chiplet lines salvage partially defective dies as lower bins
+(AMD's 6-core CCDs are harvested 8-core dies).  Harvesting changes the
+effective cost of a *premium* known good die: salvaged dies earn a
+revenue credit against the wafer spend.
+
+Model: on one wafer, ``DPW * Y`` dies are fully good and
+``DPW * (1 - Y) * salvage_fraction`` are sellable at ``salvage_value``
+times the premium die's value.  The premium die's effective cost is the
+wafer cost net of salvage revenue, divided by the number of premium
+dies:
+
+    cost = (wafer_price - salvage_revenue) / (DPW * Y)
+
+where the salvage revenue is capped so the cost never goes below the
+raw (yield-free) cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+from repro.wafer.die import DieCost, DieSpec, die_cost
+
+
+@dataclass(frozen=True)
+class HarvestSpec:
+    """Salvage policy for partially defective dies.
+
+    Attributes:
+        salvage_fraction: Share of defective dies that are sellable as a
+            lower bin (defects in a disable-able unit), in [0, 1].
+        salvage_value: Value of a salvaged die relative to the premium
+            die's effective cost, in [0, 1].
+    """
+
+    salvage_fraction: float
+    salvage_value: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.salvage_fraction <= 1.0:
+            raise InvalidParameterError("salvage_fraction must be in [0, 1]")
+        if not 0.0 <= self.salvage_value <= 1.0:
+            raise InvalidParameterError("salvage_value must be in [0, 1]")
+
+    @property
+    def is_null(self) -> bool:
+        return self.salvage_fraction == 0.0 or self.salvage_value == 0.0
+
+
+NO_HARVEST = HarvestSpec(salvage_fraction=0.0, salvage_value=0.0)
+
+
+def harvested_die_cost(spec: DieSpec, harvest: HarvestSpec) -> DieCost:
+    """Effective premium-die cost with a salvage credit.
+
+    Without harvesting this equals :func:`repro.wafer.die.die_cost`.
+    The credit reduces only the *defect* component; the raw component is
+    a physical floor.
+    """
+    base = die_cost(spec)
+    if harvest.is_null:
+        return base
+
+    dpw = base.dies_per_wafer
+    good = dpw * base.die_yield
+    salvaged = dpw * (1.0 - base.die_yield) * harvest.salvage_fraction
+    # Salvage revenue is valued against the *unharvested* premium cost;
+    # this keeps the formula explicit and avoids a fixed point.
+    revenue = salvaged * harvest.salvage_value * base.total
+    wafer_price = spec.node.wafer_price
+    effective_total = max(base.raw, (wafer_price - revenue) / good)
+    return DieCost(
+        spec=spec,
+        raw=base.raw,
+        defect=effective_total - base.raw,
+        die_yield=base.die_yield,
+        dies_per_wafer=dpw,
+    )
+
+
+def harvest_saving(spec: DieSpec, harvest: HarvestSpec) -> float:
+    """Relative premium-die cost reduction from harvesting, in [0, 1)."""
+    base = die_cost(spec).total
+    harvested = harvested_die_cost(spec, harvest).total
+    return 1.0 - harvested / base

@@ -1,0 +1,31 @@
+"""Yield models: Eq. (1) of the paper plus industry alternatives."""
+
+from repro.yieldmodel.models import (
+    YieldModel,
+    NegativeBinomialYield,
+    SeedsYield,
+    PoissonYield,
+    MurphyYield,
+    ExponentialYield,
+    BoseEinsteinYield,
+    GrossYield,
+    yield_model_for_node,
+)
+from repro.yieldmodel.composite import SerialYield, overall_yield
+from repro.yieldmodel.sampling import DefectDensityPrior, sample_yields
+
+__all__ = [
+    "YieldModel",
+    "NegativeBinomialYield",
+    "SeedsYield",
+    "PoissonYield",
+    "MurphyYield",
+    "ExponentialYield",
+    "BoseEinsteinYield",
+    "GrossYield",
+    "yield_model_for_node",
+    "SerialYield",
+    "overall_yield",
+    "DefectDensityPrior",
+    "sample_yields",
+]

@@ -1,0 +1,106 @@
+"""CLI commands end to end (in-process, via main())."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import save_portfolio
+from repro.packaging.mcm import mcm
+from repro.reuse.scms import SCMSConfig, build_scms
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_nodes_lists_catalog(capsys):
+    code, out, _err = run_cli(capsys, "nodes")
+    assert code == 0
+    for name in ("3nm", "5nm", "7nm", "14nm", "rdl", "si"):
+        assert name in out
+
+
+def test_cost_soc(capsys):
+    code, out, _err = run_cli(
+        capsys, "cost", "--area", "800", "--node", "5nm"
+    )
+    assert code == 0
+    assert "RE raw_chips" in out
+    assert "total per unit" in out
+
+
+def test_cost_mcm(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "cost",
+        "--area", "800",
+        "--node", "5nm",
+        "--integration", "mcm",
+        "--chiplets", "2",
+    )
+    assert code == 0
+    assert "mcm" in out
+
+
+def test_compare_ranks_schemes(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "compare",
+        "--area", "800",
+        "--node", "5nm",
+        "--quantity", "10000000",
+    )
+    assert code == 0
+    for label in ("SoC", "MCM", "InFO", "2.5D"):
+        assert label in out
+
+
+def test_payback_reports_quantity(capsys):
+    code, out, _err = run_cli(
+        capsys, "payback", "--area", "800", "--node", "5nm"
+    )
+    assert code == 0
+    assert "pays back" in out
+
+
+def test_payback_never(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "payback",
+        "--area", "100",
+        "--node", "14nm",
+        "--integration", "2.5d",
+    )
+    assert code == 0
+    assert "never" in out
+
+
+@pytest.mark.parametrize("figure", ["2", "5", "6", "8", "9"])
+def test_figure_commands(capsys, figure):
+    code, out, _err = run_cli(capsys, "figure", figure)
+    assert code == 0
+    assert f"Fig. {figure}" in out
+
+
+def test_unknown_figure_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["figure", "3"])
+
+
+def test_unknown_node_is_clean_error(capsys):
+    code, _out, err = run_cli(
+        capsys, "cost", "--area", "100", "--node", "4nm"
+    )
+    assert code == 2
+    assert "error:" in err
+
+
+def test_portfolio_report(capsys, tmp_path):
+    study = build_scms(SCMSConfig(counts=(1, 2)), mcm())
+    path = str(tmp_path / "p.json")
+    save_portfolio(study.chiplet, path)
+    code, out, _err = run_cli(capsys, "portfolio", path)
+    assert code == 0
+    assert "mcm-1x" in out
+    assert "(average)" in out

@@ -1,0 +1,76 @@
+"""Extended CLI commands: sweep and montecarlo."""
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSweep:
+    def test_table_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "sweep", "--node", "5nm", "--stop", "300"
+        )
+        assert code == 0
+        for label in ("SoC", "MCM", "InFO", "2.5D"):
+            assert label in out
+        assert "100" in out and "300" in out
+
+    def test_csv_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys, "sweep", "--node", "7nm", "--stop", "200", "--csv"
+        )
+        assert code == 0
+        header = out.splitlines()[0]
+        assert header == "area_mm2,SoC,MCM,InFO,2.5D"
+        assert len(out.splitlines()) == 3  # header + 2 areas
+
+    def test_chiplet_count_respected(self, capsys):
+        _code, out2, _ = run_cli(
+            capsys, "sweep", "--node", "5nm", "--stop", "100",
+            "--chiplets", "2", "--csv",
+        )
+        _code, out4, _ = run_cli(
+            capsys, "sweep", "--node", "5nm", "--stop", "100",
+            "--chiplets", "4", "--csv",
+        )
+        # More chiplets -> different MCM numbers.
+        assert out2 != out4
+
+
+class TestMonteCarlo:
+    def test_reports_statistics(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "montecarlo",
+            "--area", "400",
+            "--node", "5nm",
+            "--draws", "50",
+        )
+        assert code == 0
+        for label in ("mean", "std", "p05", "p50", "p95"):
+            assert label in out
+
+    def test_deterministic_given_seed(self, capsys):
+        args = [
+            "montecarlo", "--area", "400", "--node", "5nm",
+            "--draws", "50", "--seed", "7",
+        ]
+        _code, first, _ = run_cli(capsys, *args)
+        _code, second, _ = run_cli(capsys, *args)
+        assert first == second
+
+    def test_multichip_variant(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "montecarlo",
+            "--area", "800",
+            "--node", "5nm",
+            "--integration", "mcm",
+            "--draws", "30",
+        )
+        assert code == 0
+        assert "mcm" in out

@@ -1,0 +1,114 @@
+"""JSON round-trip: sharing must survive serialization."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    load_portfolio,
+    portfolio_from_dict,
+    portfolio_to_dict,
+    save_portfolio,
+    system_to_dict,
+)
+from repro.core.package_design import PackageDesign
+from repro.core.system import multichip
+from repro.errors import ConfigError
+from repro.reuse.portfolio import Portfolio
+from repro.reuse.scms import SCMSConfig, build_scms
+from repro.packaging.mcm import mcm
+
+
+@pytest.fixture
+def scms_portfolio():
+    return build_scms(SCMSConfig(counts=(1, 2, 4)), mcm()).chiplet_package_reused
+
+
+class TestRoundTrip:
+    def test_costs_preserved(self, scms_portfolio):
+        document = portfolio_to_dict(scms_portfolio)
+        restored = portfolio_from_dict(document)
+        for original, rebuilt in zip(scms_portfolio.systems, restored.systems):
+            assert rebuilt.name == original.name
+            assert rebuilt.quantity == original.quantity
+            original_cost = scms_portfolio.amortized_cost(original)
+            rebuilt_cost = restored.amortized_cost(rebuilt)
+            assert rebuilt_cost.total == pytest.approx(original_cost.total)
+            assert rebuilt_cost.re_total == pytest.approx(
+                original_cost.re_total
+            )
+
+    def test_sharing_preserved(self, scms_portfolio):
+        restored = portfolio_from_dict(portfolio_to_dict(scms_portfolio))
+        chips = {
+            id(chip)
+            for system in restored.systems
+            for chip, _n in system.unique_chips()
+        }
+        assert len(chips) == 1  # one chiplet design
+        packages = {id(system.package) for system in restored.systems}
+        assert len(packages) == 1  # one package design
+
+    def test_document_is_json_serializable(self, scms_portfolio):
+        document = portfolio_to_dict(scms_portfolio)
+        json.dumps(document)  # must not raise
+
+    def test_file_round_trip(self, scms_portfolio, tmp_path):
+        path = str(tmp_path / "portfolio.json")
+        save_portfolio(scms_portfolio, path)
+        restored = load_portfolio(path)
+        assert restored.average_cost() == pytest.approx(
+            scms_portfolio.average_cost()
+        )
+
+    def test_single_system_document(self, simple_mcm):
+        document = system_to_dict(simple_mcm)
+        restored = portfolio_from_dict(document)
+        assert len(restored) == 1
+        assert restored.systems[0].name == simple_mcm.name
+
+
+class TestErrors:
+    def test_wrong_version(self):
+        with pytest.raises(ConfigError):
+            portfolio_from_dict({"version": 99})
+
+    def test_missing_sections(self):
+        with pytest.raises(ConfigError):
+            portfolio_from_dict({"version": 1})
+
+    def test_unknown_module_reference(self):
+        document = {
+            "version": 1,
+            "modules": {},
+            "chips": {
+                "c0": {"name": "c", "modules": ["m0"], "node": "7nm",
+                       "d2d_fraction": 0.0}
+            },
+            "packages": {},
+            "systems": [],
+        }
+        with pytest.raises(ConfigError):
+            portfolio_from_dict(document)
+
+    def test_unknown_integration(self, scms_portfolio):
+        document = portfolio_to_dict(scms_portfolio)
+        document["systems"][0]["integration"] = "3dsoic"
+        with pytest.raises(ConfigError):
+            portfolio_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_portfolio(str(path))
+
+    def test_custom_node_not_serializable(self, n7, mcm_tech):
+        from repro.core.module import Module
+        from repro.core.system import chiplet
+
+        weird = n7.evolve(name="custom-node")
+        chip = chiplet("c", [Module("m", 100.0, weird)], weird)
+        system = multichip("s", [chip], mcm_tech)
+        with pytest.raises(ConfigError):
+            portfolio_to_dict(Portfolio([system]))

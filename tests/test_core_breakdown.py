@@ -1,0 +1,113 @@
+"""Cost breakdown containers: arithmetic and invariants."""
+
+import pytest
+
+from repro.core.breakdown import (
+    NRE_COMPONENTS,
+    RE_COMPONENTS,
+    ChipREDetail,
+    NRECost,
+    RECost,
+    TotalCost,
+)
+from repro.errors import InvalidParameterError
+
+
+def make_re(**overrides):
+    params = dict(
+        raw_chips=100.0,
+        chip_defects=50.0,
+        raw_package=20.0,
+        package_defects=5.0,
+        wasted_kgd=10.0,
+    )
+    params.update(overrides)
+    return RECost(**params)
+
+
+class TestRECost:
+    def test_total_sums_components(self):
+        re = make_re()
+        assert re.total == pytest.approx(185.0)
+        assert re.total == pytest.approx(sum(re.as_dict().values()))
+
+    def test_groupings(self):
+        re = make_re()
+        assert re.chips_total == 150.0
+        assert re.packaging_total == 35.0
+        assert re.chips_total + re.packaging_total == re.total
+
+    def test_as_dict_order(self):
+        assert list(make_re().as_dict()) == list(RE_COMPONENTS)
+
+    def test_scaled(self):
+        re = make_re().scaled(2.0)
+        assert re.raw_chips == 200.0
+        assert re.total == pytest.approx(370.0)
+
+    def test_normalized_to(self):
+        re = make_re().normalized_to(185.0)
+        assert re.total == pytest.approx(1.0)
+
+    def test_normalized_to_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_re().normalized_to(0.0)
+
+    def test_add(self):
+        total = make_re() + make_re()
+        assert total.total == pytest.approx(370.0)
+
+    def test_scaling_preserves_chip_details(self):
+        detail = ChipREDetail(
+            chip_name="c", count=2, unit_raw=10.0, unit_defect=5.0,
+            die_yield=0.8,
+        )
+        re = make_re(chip_details=(detail,)).scaled(2.0)
+        assert re.chip_details[0].unit_raw == 20.0
+        assert re.chip_details[0].count == 2
+
+
+class TestChipREDetail:
+    def test_totals(self):
+        detail = ChipREDetail("c", 3, 10.0, 5.0, 0.9)
+        assert detail.unit_total == 15.0
+        assert detail.raw == 30.0
+        assert detail.defect == 15.0
+        assert detail.total == 45.0
+
+
+class TestNRECost:
+    def test_total(self):
+        nre = NRECost(modules=10.0, chips=20.0, packages=5.0, d2d=1.0)
+        assert nre.total == 36.0
+        assert list(nre.as_dict()) == list(NRE_COMPONENTS)
+
+    def test_add_and_scale(self):
+        nre = NRECost(10.0, 20.0, 5.0, 1.0)
+        assert (nre + nre).total == 72.0
+        assert nre.scaled(0.5).total == 18.0
+
+
+class TestTotalCost:
+    def test_total_and_shares(self):
+        cost = TotalCost(
+            re=make_re(),
+            amortized_nre=NRECost(10.0, 20.0, 5.0, 1.0),
+            quantity=1000.0,
+        )
+        assert cost.total == pytest.approx(185.0 + 36.0)
+        assert cost.re_share == pytest.approx(185.0 / 221.0)
+
+    def test_normalized(self):
+        cost = TotalCost(
+            re=make_re(),
+            amortized_nre=NRECost(10.0, 20.0, 5.0, 1.0),
+            quantity=1000.0,
+        )
+        normalized = cost.normalized_to(221.0)
+        assert normalized.total == pytest.approx(1.0)
+        assert normalized.re_share == pytest.approx(cost.re_share)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_re(raw_chips=-1.0)

@@ -1,0 +1,104 @@
+"""NRE cost engine: Eqs. (6)-(8)."""
+
+import pytest
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.nre_cost import (
+    chip_design_nre,
+    compute_system_nre,
+    d2d_nre,
+    module_nre,
+    package_nre,
+)
+from repro.core.system import multichip, soc
+from repro.d2d.overhead import FractionOverhead
+
+
+class TestEq6:
+    def test_chip_design_nre_formula(self, simple_chiplet):
+        node = simple_chiplet.node
+        expected = node.kc_per_mm2 * simple_chiplet.area + node.fixed_chip_nre
+        assert chip_design_nre(simple_chiplet) == pytest.approx(expected)
+
+    def test_module_nre_formula(self, simple_chiplet):
+        node = simple_chiplet.node
+        assert module_nre(simple_chiplet) == pytest.approx(
+            node.km_per_mm2 * 200.0
+        )
+
+    def test_module_nre_counts_design_once(self, n7):
+        module = Module("m", 100.0, n7)
+        chip = Chip.of("c", (module, module, module), n7)
+        assert module_nre(chip) == pytest.approx(n7.km_per_mm2 * 100.0)
+
+    def test_d2d_area_inflates_chip_term_only(self, simple_module, n7):
+        plain = Chip.of("p", (simple_module,), n7)
+        chiplet = Chip.of(
+            "c", (simple_module,), n7, d2d=FractionOverhead(0.10)
+        )
+        assert module_nre(plain) == pytest.approx(module_nre(chiplet))
+        assert chip_design_nre(chiplet) > chip_design_nre(plain)
+
+
+class TestSystemNRE:
+    def test_soc_has_no_d2d_nre(self, simple_soc):
+        nre = compute_system_nre(simple_soc)
+        assert nre.d2d == 0.0
+        assert nre.modules > 0
+        assert nre.chips > 0
+        assert nre.packages > 0
+
+    def test_multichip_pays_d2d_once_per_node(
+        self, simple_chiplet, mcm_tech, n7
+    ):
+        system = multichip("m", [simple_chiplet] * 4, mcm_tech)
+        assert d2d_nre(system) == pytest.approx(n7.d2d_interface_nre)
+
+    def test_mixed_nodes_pay_d2d_per_node(self, n7, n14, mcm_tech):
+        d2d = FractionOverhead(0.10)
+        a = Chip.of("a", (Module("ma", 100.0, n7),), n7, d2d=d2d)
+        b = Chip.of("b", (Module("mb", 100.0, n14),), n14, d2d=d2d)
+        system = multichip("m", [a, b], mcm_tech)
+        assert d2d_nre(system) == pytest.approx(
+            n7.d2d_interface_nre + n14.d2d_interface_nre
+        )
+
+    def test_reused_chip_designed_once(self, simple_chiplet, mcm_tech):
+        one = multichip("one", [simple_chiplet], mcm_tech)
+        four = multichip("four", [simple_chiplet] * 4, mcm_tech)
+        # Same single chip design; only the package differs.
+        assert compute_system_nre(four).chips == pytest.approx(
+            compute_system_nre(one).chips
+        )
+
+    def test_package_nre_uses_design_when_present(
+        self, simple_chiplet, mcm_tech
+    ):
+        from repro.core.package_design import PackageDesign
+
+        design = PackageDesign.for_chips(
+            "big", mcm_tech, [simple_chiplet.area] * 4
+        )
+        system = multichip("r", [simple_chiplet], mcm_tech, package=design)
+        assert package_nre(system) == pytest.approx(design.nre)
+        plain = multichip("p", [simple_chiplet], mcm_tech)
+        assert package_nre(system) > package_nre(plain)
+
+    def test_multichip_nre_exceeds_soc_nre(self, n5, soc_pkg, mcm_tech):
+        """Eq. (7) vs Eq. (8) for a single system: partitioning adds mask
+        sets, chip designs and D2D NRE — the paper's Section 4.2."""
+        from repro.explore.partition import partition_monolith, soc_reference
+
+        soc_nre = compute_system_nre(soc_reference(800.0, n5)).total
+        mcm_nre = compute_system_nre(
+            partition_monolith(800.0, n5, 2, mcm_tech)
+        ).total
+        assert mcm_nre > soc_nre
+
+    def test_advanced_node_nre_higher(self, soc_pkg, n5, n14):
+        from repro.explore.partition import soc_reference
+
+        advanced = compute_system_nre(soc_reference(800.0, n5)).total
+        mature = compute_system_nre(soc_reference(800.0, n14)).total
+        assert advanced > mature

@@ -1,0 +1,120 @@
+"""RE cost engine: the five-way itemization against hand calculations."""
+
+import pytest
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.package_design import PackageDesign
+from repro.core.re_cost import chip_kgd_cost, compute_re_cost
+from repro.core.system import System, multichip, soc
+from repro.d2d.overhead import FractionOverhead
+from repro.wafer.die import DieSpec, die_cost
+
+
+class TestChipKGD:
+    def test_kgd_matches_die_cost(self, simple_chiplet):
+        expected = die_cost(
+            DieSpec(area=simple_chiplet.area, node=simple_chiplet.node)
+        ).total
+        assert chip_kgd_cost(simple_chiplet) == pytest.approx(expected)
+
+
+class TestSoCRE:
+    def test_chip_costs_match_die_cost(self, simple_soc):
+        re = compute_re_cost(simple_soc)
+        die = die_cost(DieSpec(area=200.0, node=simple_soc.chips[0].node))
+        assert re.raw_chips == pytest.approx(die.raw)
+        assert re.chip_defects == pytest.approx(die.defect)
+
+    def test_chip_detail_attached(self, simple_soc):
+        re = compute_re_cost(simple_soc)
+        assert len(re.chip_details) == 1
+        detail = re.chip_details[0]
+        assert detail.count == 1
+        assert detail.unit_total == pytest.approx(re.chips_total)
+
+    def test_total_is_sum(self, simple_soc):
+        re = compute_re_cost(simple_soc)
+        assert re.total == pytest.approx(
+            re.raw_chips
+            + re.chip_defects
+            + re.raw_package
+            + re.package_defects
+            + re.wasted_kgd
+        )
+
+
+class TestMultichipRE:
+    def test_two_instances_double_chip_cost(self, simple_mcm, simple_chiplet):
+        re = compute_re_cost(simple_mcm)
+        unit = die_cost(
+            DieSpec(area=simple_chiplet.area, node=simple_chiplet.node)
+        )
+        assert re.raw_chips == pytest.approx(2 * unit.raw)
+        assert re.chip_defects == pytest.approx(2 * unit.defect)
+
+    def test_packaging_matches_integration(self, simple_mcm, mcm_tech):
+        re = compute_re_cost(simple_mcm)
+        kgd = re.chips_total
+        packaging = simple_mcm.integration.packaging_cost(
+            simple_mcm.chip_areas, kgd
+        )
+        assert re.raw_package == pytest.approx(packaging.raw_package)
+        assert re.package_defects == pytest.approx(packaging.package_defects)
+        assert re.wasted_kgd == pytest.approx(packaging.wasted_kgd)
+
+    def test_heterogeneous_chips_priced_separately(self, n7, n14, mcm_tech):
+        d2d = FractionOverhead(0.10)
+        advanced = Chip.of("a", (Module("ma", 150.0, n7),), n7, d2d=d2d)
+        mature = Chip.of("b", (Module("mb", 150.0, n14),), n14, d2d=d2d)
+        system = multichip("h", [advanced, mature], mcm_tech)
+        re = compute_re_cost(system)
+        assert len(re.chip_details) == 2
+        by_name = {d.chip_name: d for d in re.chip_details}
+        # The mature die is cheaper per mm^2.
+        assert by_name["b"].unit_total < by_name["a"].unit_total
+
+
+class TestPackageDesignRE:
+    def test_oversized_package_costs_more(self, simple_chiplet, mcm_tech):
+        plain = multichip("p", [simple_chiplet], mcm_tech)
+        design = PackageDesign.for_chips(
+            "big", mcm_tech, [simple_chiplet.area] * 4
+        )
+        reused = multichip("r", [simple_chiplet], mcm_tech, package=design)
+        plain_re = compute_re_cost(plain)
+        reused_re = compute_re_cost(reused)
+        assert reused_re.raw_package > plain_re.raw_package
+        assert reused_re.chips_total == pytest.approx(plain_re.chips_total)
+
+    def test_full_package_equals_plain(self, simple_chiplet, mcm_tech):
+        """A design sized for exactly the system's chips changes nothing."""
+        design = PackageDesign.for_chips(
+            "exact", mcm_tech, [simple_chiplet.area, simple_chiplet.area]
+        )
+        plain = multichip("p", [simple_chiplet] * 2, mcm_tech)
+        reused = multichip("r", [simple_chiplet] * 2, mcm_tech, package=design)
+        assert compute_re_cost(reused).total == pytest.approx(
+            compute_re_cost(plain).total
+        )
+
+
+class TestCrossTechnology:
+    def test_re_ordering_at_common_point(self, n5, soc_pkg):
+        """At 800 mm^2 / 5nm the paper's Fig. 4 ordering holds:
+        MCM < InFO < SoC, and 2.5D < SoC."""
+        from repro.explore.partition import partition_monolith, soc_reference
+        from repro.packaging import info, interposer_25d, mcm
+
+        soc_re = compute_re_cost(soc_reference(800.0, n5)).total
+        mcm_re = compute_re_cost(
+            partition_monolith(800.0, n5, 2, mcm())
+        ).total
+        info_re = compute_re_cost(
+            partition_monolith(800.0, n5, 2, info())
+        ).total
+        interposer_re = compute_re_cost(
+            partition_monolith(800.0, n5, 2, interposer_25d())
+        ).total
+        assert mcm_re < info_re < soc_re
+        assert interposer_re < soc_re

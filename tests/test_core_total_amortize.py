@@ -1,0 +1,62 @@
+"""Amortization and total-cost assembly."""
+
+import pytest
+
+from repro.core.amortize import amortize, amortized_unit_nre
+from repro.core.breakdown import NRECost
+from repro.core.nre_cost import compute_system_nre
+from repro.core.re_cost import compute_re_cost
+from repro.core.total import compute_total_cost
+from repro.errors import InvalidParameterError
+
+
+class TestAmortize:
+    def test_per_unit_share(self):
+        assert amortize(1e6, 1000.0) == 1000.0
+
+    def test_large_quantity_vanishes(self):
+        assert amortize(1e6, 1e12) == pytest.approx(0.0, abs=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            amortize(1e6, 0.0)
+        with pytest.raises(InvalidParameterError):
+            amortize(-1.0, 100.0)
+
+    def test_componentwise(self):
+        nre = NRECost(10.0, 20.0, 5.0, 1.0)
+        unit = amortized_unit_nre(nre, 10.0)
+        assert unit.modules == 1.0
+        assert unit.total == pytest.approx(3.6)
+
+    def test_componentwise_invalid_quantity(self):
+        with pytest.raises(InvalidParameterError):
+            amortized_unit_nre(NRECost(1, 1, 1, 1), -5.0)
+
+
+class TestTotalCost:
+    def test_total_is_re_plus_amortized_nre(self, simple_soc):
+        cost = compute_total_cost(simple_soc)
+        re = compute_re_cost(simple_soc).total
+        nre = compute_system_nre(simple_soc).total
+        assert cost.total == pytest.approx(re + nre / simple_soc.quantity)
+
+    def test_quantity_override(self, simple_soc):
+        default = compute_total_cost(simple_soc)
+        bigger = compute_total_cost(simple_soc, quantity=10 * simple_soc.quantity)
+        assert bigger.total < default.total
+        assert bigger.re_total == pytest.approx(default.re_total)
+
+    def test_re_share_grows_with_quantity(self, simple_soc):
+        shares = [
+            compute_total_cost(simple_soc, q).re_share
+            for q in (1e4, 1e5, 1e6, 1e7, 1e8)
+        ]
+        assert shares == sorted(shares)
+        assert shares[-1] > 0.95
+
+    def test_nre_dominates_small_quantities(self, simple_soc):
+        """The paper: 'if the production quantity is small, the NRE cost
+        is dominant'."""
+        cost = compute_total_cost(simple_soc, 1000.0)
+        assert cost.nre_total > cost.re_total

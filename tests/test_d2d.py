@@ -1,0 +1,100 @@
+"""D2D interface catalog and overhead policies."""
+
+import pytest
+
+from repro.d2d.interface import D2D_CATALOG, D2DInterface, interface_for
+from repro.d2d.overhead import (
+    NO_OVERHEAD,
+    BandwidthOverhead,
+    FractionOverhead,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestCatalog:
+    def test_catalog_has_all_carriers(self):
+        carriers = {profile.carrier for profile in D2D_CATALOG.values()}
+        assert carriers == {"mcm", "info", "interposer"}
+
+    def test_interface_for_each_carrier(self):
+        for carrier in ("mcm", "info", "interposer"):
+            assert interface_for(carrier).carrier == carrier
+
+    def test_interface_for_unknown_carrier(self):
+        with pytest.raises(InvalidParameterError):
+            interface_for("3d")
+
+    def test_denser_carriers_have_denser_phys(self):
+        # The paper's Fig. 1 ordering: interposer > fanout > substrate.
+        mcm = interface_for("mcm").bandwidth_density
+        fanout = interface_for("info").bandwidth_density
+        interposer = interface_for("interposer").bandwidth_density
+        assert mcm < fanout < interposer
+
+    def test_phy_area_scales_with_bandwidth(self):
+        phy = interface_for("mcm")
+        assert phy.phy_area(100.0) == pytest.approx(2 * phy.phy_area(50.0))
+
+    def test_phy_area_negative_bandwidth_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            interface_for("mcm").phy_area(-1.0)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            D2DInterface("x", "mcm", 0.0, 1.0, 10.0)
+
+
+class TestFractionOverhead:
+    def test_paper_convention(self):
+        # 10% of the chip is D2D: chip = module / 0.9.
+        overhead = FractionOverhead(0.10)
+        module_area = 400.0
+        chip = overhead.chip_area(module_area)
+        assert chip == pytest.approx(400.0 / 0.9)
+        assert overhead.d2d_area(module_area) / chip == pytest.approx(0.10)
+
+    def test_zero_fraction_adds_nothing(self):
+        assert FractionOverhead(0.0).d2d_area(500.0) == 0.0
+        assert NO_OVERHEAD.chip_area(500.0) == 500.0
+
+    def test_fraction_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            FractionOverhead(1.0)
+        with pytest.raises(InvalidParameterError):
+            FractionOverhead(-0.1)
+
+    def test_negative_module_area_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FractionOverhead(0.1).d2d_area(-1.0)
+
+
+class TestBandwidthOverhead:
+    def test_area_is_bandwidth_over_density(self):
+        phy = interface_for("interposer")
+        overhead = BandwidthOverhead(1000.0, phy)
+        assert overhead.d2d_area(300.0) == pytest.approx(
+            1000.0 / phy.bandwidth_density
+        )
+
+    def test_area_independent_of_module_area(self):
+        phy = interface_for("mcm")
+        overhead = BandwidthOverhead(500.0, phy)
+        assert overhead.d2d_area(100.0) == overhead.d2d_area(1000.0)
+
+    def test_equivalent_fraction(self):
+        phy = interface_for("mcm")
+        overhead = BandwidthOverhead(500.0, phy)
+        module_area = 90.0
+        d2d = overhead.d2d_area(module_area)
+        assert overhead.equivalent_fraction(module_area) == pytest.approx(
+            d2d / (module_area + d2d)
+        )
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BandwidthOverhead(-1.0, interface_for("mcm"))
+
+    def test_equivalent_fraction_needs_positive_module(self):
+        overhead = BandwidthOverhead(100.0, interface_for("mcm"))
+        with pytest.raises(InvalidParameterError):
+            overhead.equivalent_fraction(0.0)

@@ -1,0 +1,68 @@
+"""Data tables: completeness and provenance coverage."""
+
+from repro.data.integration import INTEGRATION_COMPARISON
+from repro.data.nre_costs import DESIGN_COST_INDEX, MASK_SET_COSTS
+from repro.data.packaging_costs import PACKAGING_DEFAULTS
+from repro.data.wafer_prices import WAFER_PRICE_SOURCES, WAFER_PRICES
+from repro.process.catalog import NODES
+
+
+def test_every_wafer_price_has_a_source():
+    assert set(WAFER_PRICE_SOURCES) == set(WAFER_PRICES)
+
+
+def test_every_catalog_node_has_all_tables():
+    for name in NODES:
+        assert name in WAFER_PRICES, f"{name} missing wafer price"
+        assert name in DESIGN_COST_INDEX, f"{name} missing design index"
+        assert name in MASK_SET_COSTS, f"{name} missing mask cost"
+
+
+def test_substituted_parameters_flagged():
+    """Everything not from the CSET table says so in its source note."""
+    for name, source in WAFER_PRICE_SOURCES.items():
+        assert ("CSET" in source) or ("substituted" in source) or (
+            "projection" in source
+        ), f"{name}: source note must name CSET or mark a substitution"
+
+
+def test_packaging_defaults_schema():
+    required = {
+        "substrate_layers",
+        "substrate_area_factor",
+        "fixed_assembly_cost",
+        "chip_attach_yield",
+        "final_yield",
+        "nre_per_mm2",
+        "nre_fixed",
+    }
+    carrier_required = {"carrier_attach_yield"}
+    for tech in ("soc", "mcm"):
+        assert required <= set(PACKAGING_DEFAULTS[tech])
+    for tech in ("info", "interposer"):
+        assert (required - {"final_yield"}) <= set(PACKAGING_DEFAULTS[tech])
+        assert carrier_required <= set(PACKAGING_DEFAULTS[tech])
+
+
+def test_packaging_yields_are_probabilities():
+    for tech, params in PACKAGING_DEFAULTS.items():
+        for key, value in params.items():
+            if key.endswith("yield"):
+                assert 0.0 < value <= 1.0, f"{tech}.{key}"
+
+
+def test_fig1_comparison_covers_three_technologies():
+    names = [profile.name for profile in INTEGRATION_COMPARISON]
+    assert names == ["MCM", "InFO", "2.5D"]
+    # The paper's Fig. 1 axes: cost rank rises as line space shrinks.
+    spaces = [p.line_space_um for p in INTEGRATION_COMPARISON]
+    ranks = [p.relative_cost_rank for p in INTEGRATION_COMPARISON]
+    assert spaces == sorted(spaces, reverse=True)
+    assert ranks == sorted(ranks)
+
+
+def test_describe_lines_render():
+    for profile in INTEGRATION_COMPARISON:
+        line = profile.describe()
+        assert profile.name in line
+        assert "Gbps" in line

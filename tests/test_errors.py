@@ -1,0 +1,51 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ChipletActuaryError,
+    ConfigError,
+    EmptySystemError,
+    InvalidParameterError,
+    ReticleLimitError,
+    UnknownNodeError,
+)
+
+
+def test_all_errors_derive_from_base():
+    for error_type in (
+        ConfigError,
+        EmptySystemError,
+        InvalidParameterError,
+        ReticleLimitError,
+        UnknownNodeError,
+    ):
+        assert issubclass(error_type, ChipletActuaryError)
+
+
+def test_value_errors_are_value_errors():
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(EmptySystemError, ValueError)
+    assert issubclass(ConfigError, ValueError)
+
+
+def test_unknown_node_is_key_error():
+    assert issubclass(UnknownNodeError, KeyError)
+
+
+def test_unknown_node_message_lists_available():
+    error = UnknownNodeError("4nm", available=["5nm", "7nm"])
+    assert "4nm" in str(error)
+    assert "5nm" in str(error)
+
+
+def test_reticle_error_carries_values():
+    error = ReticleLimitError(900.0, 858.0)
+    assert error.area == 900.0
+    assert error.limit == 858.0
+    assert "900" in str(error)
+
+
+def test_catch_base_catches_all():
+    with pytest.raises(ChipletActuaryError):
+        raise UnknownNodeError("x")

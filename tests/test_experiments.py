@@ -1,0 +1,200 @@
+"""Experiment harnesses: schema and structural checks per figure."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+from repro.experiments.fig2 import FIG2_TECHNOLOGIES
+from repro.experiments.printers import (
+    render_fig2,
+    render_fig4_panel,
+    render_fig5,
+    render_fig6,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(areas=range(100, 900, 100))
+
+    def test_six_technologies(self, result):
+        assert len(result.yield_figure.series) == len(FIG2_TECHNOLOGIES)
+        assert len(result.cost_figure.series) == len(FIG2_TECHNOLOGIES)
+
+    def test_yields_are_percentages(self, result):
+        for series in result.yield_figure.series:
+            assert all(0.0 < y <= 100.0 for y in series.ys)
+
+    def test_yield_curves_decreasing(self, result):
+        for series in result.yield_figure.series:
+            assert list(series.ys) == sorted(series.ys, reverse=True)
+
+    def test_cost_curves_increasing(self, result):
+        for series in result.cost_figure.series:
+            assert list(series.ys) == sorted(series.ys)
+
+    def test_3nm_worst_yield(self, result):
+        """Fig. 2 ordering at 800 mm^2: 3nm yields worst."""
+        finals = {
+            series.name.split()[0]: series.ys[-1]
+            for series in result.yield_figure.series
+        }
+        assert finals["3nm"] == min(finals.values())
+
+    def test_render(self, result):
+        text = render_fig2(result)
+        assert "Fig. 2" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return run_fig4(areas=(100, 400, 800))
+
+    def test_nine_panels(self, panels):
+        assert len(panels) == 9
+
+    def test_every_cell_present(self, panels):
+        for panel in panels:
+            assert len(panel.cells) == 3 * 4  # areas x schemes
+
+    def test_reference_normalization(self, panels):
+        """The 100 mm^2 SoC bar is exactly 1.0 in every panel."""
+        for panel in panels:
+            assert panel.cell(100, "SoC").total == pytest.approx(1.0)
+
+    def test_soc_identical_across_chiplet_counts(self, panels):
+        """SoC bars do not depend on the partition count."""
+        by_node = {}
+        for panel in panels:
+            key = panel.node
+            value = panel.cell(800, "SoC").total
+            by_node.setdefault(key, set()).add(round(value, 9))
+        for values in by_node.values():
+            assert len(values) == 1
+
+    def test_render(self, panels):
+        text = render_fig4_panel(panels[0])
+        assert "Fig. 4" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5()
+
+    def test_reference_row_is_unity(self, result):
+        assert result.rows[0].mono_total == pytest.approx(1.0)
+
+    def test_die_saving_headline(self, result):
+        """The paper: multi-chip saves 'up to 50% of the die cost'."""
+        assert result.max_die_cost_saving >= 0.50
+
+    def test_monotone_mcm_cost(self, result):
+        totals = [row.mcm_total for row in result.rows]
+        assert totals == sorted(totals)
+
+    def test_render(self, result):
+        assert "Fig. 5" in render_fig5(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6()
+
+    def test_grid_complete(self, result):
+        assert len(result.entries) == 2 * 3 * 4  # nodes x quantities x schemes
+
+    def test_re_independent_of_quantity(self, result):
+        for node in ("14nm", "5nm"):
+            res = [
+                result.entry(node, quantity, "MCM").cost.re_total
+                for quantity in (500_000.0, 2_000_000.0, 10_000_000.0)
+            ]
+            assert res[0] == pytest.approx(res[1]) == pytest.approx(res[2])
+
+    def test_nre_share_falls_with_quantity(self, result):
+        for node in ("14nm", "5nm"):
+            shares = [
+                result.entry(node, quantity, "SoC").re_share
+                for quantity in (500_000.0, 2_000_000.0, 10_000_000.0)
+            ]
+            assert shares == sorted(shares)
+
+    def test_soc_re_is_normalizer(self, result):
+        for node in ("14nm", "5nm"):
+            entry = result.entry(node, 500_000.0, "SoC")
+            assert entry.cost.re_total == pytest.approx(1.0)
+
+    def test_render(self, result):
+        assert "Fig. 6" in render_fig6(result)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8()
+
+    def test_variants(self, result):
+        assert result.variants() == ["SoC", "MCM", "MCM+pkg", "2.5D", "2.5D+pkg"]
+
+    def test_4x_mcm_re_is_normalizer(self, result):
+        assert result.entry(4, "MCM").re.total == pytest.approx(1.0)
+
+    def test_render(self, result):
+        assert "Fig. 8" in render_fig8(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9()
+
+    def test_labels(self, result):
+        assert result.labels() == ["C", "C+1X", "C+1X+1Y", "C+2X+2Y"]
+
+    def test_largest_mcm_re_is_normalizer(self, result):
+        assert result.entry("C+2X+2Y", "MCM").re.total == pytest.approx(1.0)
+
+    def test_render(self, result):
+        assert "Fig. 9" in render_fig9(result)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Trimmed situations keep the test quick while covering the trend.
+        return run_fig10(situations=((2, 2), (3, 4), (4, 4)))
+
+    def test_entries_per_situation(self, result):
+        assert len(result.entries) == 3 * 3  # situations x schemes
+
+    def test_system_counts_match_formula(self, result):
+        from repro.reuse.fsmc import collocation_count
+
+        for entry in result.entries:
+            assert entry.system_count == collocation_count(
+                entry.n_chiplets, entry.k_sockets
+            )
+
+    def test_multichip_nre_falls_with_reuse(self, result):
+        mcm_nre = [
+            result.entry(k, n, "MCM").avg_nre
+            for (k, n) in result.situations()
+        ]
+        assert mcm_nre == sorted(mcm_nre, reverse=True)
+
+    def test_render(self, result):
+        assert "Fig. 10" in render_fig10(result)

@@ -1,0 +1,140 @@
+"""Decision procedures (Section 6)."""
+
+import pytest
+
+from repro.core.total import compute_total_cost
+from repro.errors import InvalidParameterError
+from repro.explore.decide import (
+    choose_integration,
+    granularity_marginal_utility,
+    moore_limit_proximity,
+    multichip_payback_quantity,
+    package_reuse_break_even,
+)
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.packaging.info import info
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.reuse.scms import SCMSConfig, build_scms
+from repro.wafer.geometry import RETICLE_LIMIT_MM2
+
+
+class TestChooseIntegration:
+    def test_ranked_ascending(self, n5):
+        choices = choose_integration(
+            800.0, n5, 2, 2e6, [mcm(), info(), interposer_25d()]
+        )
+        totals = [choice.total_per_unit for choice in choices]
+        assert totals == sorted(totals)
+        assert len(choices) == 4  # SoC + three candidates
+
+    def test_small_chip_small_quantity_prefers_soc(self, n5):
+        choices = choose_integration(100.0, n5, 2, 1e5, [mcm()])
+        assert choices[0].label == "SoC"
+
+    def test_large_chip_large_quantity_prefers_multichip(self, n5):
+        choices = choose_integration(800.0, n5, 2, 1e7, [mcm()])
+        assert choices[0].label == "MCM"
+
+    def test_invalid_quantity(self, n5):
+        with pytest.raises(InvalidParameterError):
+            choose_integration(800.0, n5, 2, 0.0, [mcm()])
+
+
+class TestPayback:
+    def test_payback_is_crossover(self, n5):
+        soc_system = soc_reference(800.0, n5)
+        multi = partition_monolith(800.0, n5, 2, mcm())
+        quantity = multichip_payback_quantity(soc_system, multi)
+        assert quantity is not None
+        below = quantity * 0.9
+        above = quantity * 1.1
+        assert (
+            compute_total_cost(multi, below).total
+            > compute_total_cost(soc_system, below).total
+        )
+        assert (
+            compute_total_cost(multi, above).total
+            < compute_total_cost(soc_system, above).total
+        )
+
+    def test_never_pays_back_returns_none(self, n14):
+        """A small mature-node chip: partitioning never pays."""
+        soc_system = soc_reference(100.0, n14)
+        multi = partition_monolith(100.0, n14, 2, interposer_25d())
+        assert multichip_payback_quantity(soc_system, multi) is None
+
+    def test_returns_low_when_already_cheaper(self, n5):
+        # Starting the search above the crossover returns the low bound.
+        soc_system = soc_reference(800.0, n5)
+        multi = partition_monolith(800.0, n5, 2, mcm())
+        assert (
+            multichip_payback_quantity(soc_system, multi, low=1e8, high=1e9)
+            == 1e8
+        )
+
+    def test_invalid_range(self, n5):
+        soc_system = soc_reference(800.0, n5)
+        multi = partition_monolith(800.0, n5, 2, mcm())
+        with pytest.raises(InvalidParameterError):
+            multichip_payback_quantity(soc_system, multi, low=10.0, high=5.0)
+
+
+class TestGranularity:
+    def test_marginal_utility_decreases(self, n5):
+        """The paper: die-defect savings have marginal utility."""
+        steps = granularity_marginal_utility(
+            800.0, n5, mcm(), counts=(1, 2, 3, 5)
+        )
+        ratios = [step.defect_saving_ratio for step in steps]
+        assert ratios == sorted(ratios, reverse=True)
+        assert all(step.defect_saving > 0 for step in steps)
+
+    def test_unsorted_counts_rejected(self, n5):
+        with pytest.raises(InvalidParameterError):
+            granularity_marginal_utility(800.0, n5, mcm(), counts=(3, 2))
+
+    def test_step_fields(self, n5):
+        steps = granularity_marginal_utility(800.0, n5, mcm(), counts=(1, 2))
+        [step] = steps
+        assert step.from_chiplets == 1
+        assert step.to_chiplets == 2
+        assert step.re_delta == pytest.approx(
+            step.re_total_after - step.re_total_before
+        )
+
+
+class TestPackageReuseBreakEven:
+    def test_verdict_fields(self):
+        study = build_scms(SCMSConfig(), mcm())
+        verdict = package_reuse_break_even(
+            study.chiplet, study.chiplet_package_reused
+        )
+        assert verdict.cost_without_reuse > 0
+        assert verdict.cost_with_reuse > 0
+        assert verdict.reuse_pays == (
+            verdict.cost_with_reuse < verdict.cost_without_reuse
+        )
+        assert verdict.saving_ratio == pytest.approx(
+            1.0 - verdict.cost_with_reuse / verdict.cost_without_reuse
+        )
+
+    def test_25d_reuse_does_not_pay(self):
+        study = build_scms(SCMSConfig(), interposer_25d())
+        verdict = package_reuse_break_even(
+            study.chiplet, study.chiplet_package_reused
+        )
+        assert not verdict.reuse_pays
+
+
+class TestMooreLimit:
+    def test_reticle_is_unity(self, n5):
+        assert moore_limit_proximity(RETICLE_LIMIT_MM2, n5) == pytest.approx(1.0)
+
+    def test_above_limit(self, n5):
+        assert moore_limit_proximity(900.0, n5) > 1.0
+
+    def test_invalid_area(self, n5):
+        with pytest.raises(InvalidParameterError):
+            moore_limit_proximity(0.0, n5)

@@ -1,0 +1,154 @@
+"""Time-phased roadmap costing."""
+
+import pytest
+
+from repro.core.re_cost import compute_re_cost
+from repro.errors import InvalidParameterError
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.explore.roadmap import (
+    RoadmapAssumptions,
+    compare_on_roadmap,
+    ramp_volumes,
+    roadmap_cost,
+)
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.process.defects import ramp_curve_for
+
+
+@pytest.fixture
+def flat_roadmap():
+    return RoadmapAssumptions(periods=4, volumes=(1e5,) * 4)
+
+
+class TestAssumptions:
+    def test_volume_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RoadmapAssumptions(periods=3, volumes=(1.0, 2.0))
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RoadmapAssumptions(periods=1, volumes=(-1.0,))
+
+    def test_invalid_erosion_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RoadmapAssumptions(
+                periods=1, volumes=(1.0,), wafer_price_erosion=0.0
+            )
+        with pytest.raises(InvalidParameterError):
+            RoadmapAssumptions(
+                periods=1, volumes=(1.0,), wafer_price_erosion=1.1
+            )
+
+    def test_total_volume(self, flat_roadmap):
+        assert flat_roadmap.total_volume == pytest.approx(4e5)
+
+
+class TestRampVolumes:
+    def test_conserves_total(self):
+        volumes = ramp_volumes(1e6, 8)
+        assert sum(volumes) == pytest.approx(1e6)
+        assert len(volumes) == 8
+
+    def test_default_shape_ramps_up(self):
+        volumes = ramp_volumes(1e6, 8)
+        assert volumes[0] < volumes[-1]
+
+    def test_custom_shape(self):
+        volumes = ramp_volumes(100.0, 4, shape=lambda t: 1.0)
+        assert volumes == (25.0,) * 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            ramp_volumes(-1.0, 4)
+        with pytest.raises(InvalidParameterError):
+            ramp_volumes(1.0, 0)
+        with pytest.raises(InvalidParameterError):
+            ramp_volumes(1.0, 2, shape=lambda t: 0.0)
+
+
+class TestRoadmapCost:
+    def test_static_roadmap_matches_point_model(self, flat_roadmap, n7):
+        """No learning, no erosion: every period equals the point cost."""
+        system = soc_reference(500.0, n7)
+        result = roadmap_cost(system, flat_roadmap)
+        point = compute_re_cost(system).total
+        for period in result.periods:
+            assert period.re_per_unit == pytest.approx(point)
+        assert result.re_spend == pytest.approx(point * 4e5)
+
+    def test_learning_reduces_cost_over_time(self, n7):
+        assumptions = RoadmapAssumptions(
+            periods=6,
+            volumes=(1e5,) * 6,
+            learning={"7nm": ramp_curve_for(n7, initial_density=0.13)},
+        )
+        result = roadmap_cost(soc_reference(500.0, n7), assumptions)
+        costs = [period.re_per_unit for period in result.periods]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_price_erosion_reduces_cost(self, n7):
+        assumptions = RoadmapAssumptions(
+            periods=4, volumes=(1e5,) * 4, wafer_price_erosion=0.95
+        )
+        result = roadmap_cost(soc_reference(500.0, n7), assumptions)
+        costs = [period.re_per_unit for period in result.periods]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == pytest.approx(costs[0] * 0.95**3, rel=0.02)
+
+    def test_program_cost_includes_nre(self, flat_roadmap, n7):
+        system = soc_reference(500.0, n7)
+        result = roadmap_cost(system, flat_roadmap)
+        assert result.program_cost == pytest.approx(
+            result.re_spend + result.nre_total
+        )
+        assert result.average_unit_cost == pytest.approx(
+            result.program_cost / result.total_volume
+        )
+
+    def test_nre_override(self, flat_roadmap, n7):
+        system = soc_reference(500.0, n7)
+        result = roadmap_cost(system, flat_roadmap, nre_override=42.0)
+        assert result.nre_total == 42.0
+
+
+class TestCompare:
+    def test_sorted_by_program_cost(self, n7):
+        assumptions = RoadmapAssumptions(
+            periods=8,
+            volumes=ramp_volumes(4e6, 8),
+            learning={"7nm": ramp_curve_for(n7, initial_density=0.13)},
+        )
+        results = compare_on_roadmap(
+            [
+                soc_reference(700.0, n7),
+                partition_monolith(700.0, n7, 2, mcm()),
+            ],
+            assumptions,
+        )
+        costs = [result.program_cost for result in results]
+        assert costs == sorted(costs)
+
+    def test_empty_rejected(self, flat_roadmap):
+        with pytest.raises(InvalidParameterError):
+            compare_on_roadmap([], flat_roadmap)
+
+    def test_learning_shrinks_chiplet_advantage(self, n7):
+        """The paper: 'as the yield of 7nm technology improves ... the
+        advantage is further smaller'."""
+        system_soc = soc_reference(700.0, n7)
+        system_mcm = partition_monolith(700.0, n7, 2, mcm())
+
+        def advantage(density: float) -> float:
+            early = RoadmapAssumptions(
+                periods=1,
+                volumes=(1.0,),
+                learning={
+                    "7nm": ramp_curve_for(n7, initial_density=density)
+                },
+            )
+            soc_cost = roadmap_cost(system_soc, early).periods[0].re_per_unit
+            mcm_cost = roadmap_cost(system_mcm, early).periods[0].re_per_unit
+            return 1.0 - mcm_cost / soc_cost
+
+        assert advantage(0.13) > advantage(0.09)

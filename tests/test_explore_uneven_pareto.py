@@ -1,0 +1,174 @@
+"""Uneven partitioning and Pareto exploration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.module import Module
+from repro.errors import InvalidParameterError
+from repro.explore.pareto import (
+    cost_footprint_frontier,
+    design_space,
+    pareto_frontier,
+)
+from repro.explore.uneven import balance_modules, partition_modules
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+
+
+class TestBalanceModules:
+    def test_perfect_split(self):
+        assignment = balance_modules([100.0, 100.0], 2)
+        assert assignment.bin_areas == (100.0, 100.0)
+        assert assignment.imbalance == pytest.approx(1.0)
+
+    def test_all_modules_assigned_once(self):
+        assignment = balance_modules([50.0, 40.0, 30.0, 20.0, 10.0], 3)
+        assigned = sorted(i for b in assignment.bins for i in b)
+        assert assigned == [0, 1, 2, 3, 4]
+
+    def test_k_equals_modules(self):
+        assignment = balance_modules([10.0, 20.0, 30.0], 3)
+        assert len(assignment.bins) == 3
+        assert sorted(assignment.bin_areas) == [10.0, 20.0, 30.0]
+
+    def test_lpt_quality_on_classic_case(self):
+        # 3,3,2,2,2 into 2 bins: optimal max is 6.
+        assignment = balance_modules([3.0, 3.0, 2.0, 2.0, 2.0], 2)
+        assert assignment.max_area == pytest.approx(6.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            balance_modules([], 2)
+        with pytest.raises(InvalidParameterError):
+            balance_modules([1.0], 0)
+        with pytest.raises(InvalidParameterError):
+            balance_modules([1.0], 2)
+        with pytest.raises(InvalidParameterError):
+            balance_modules([0.0], 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        areas=st.lists(
+            st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=12
+        ),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    def test_list_scheduling_bound(self, areas, k):
+        """Graham's list-scheduling bound holds for LPT:
+        max bin <= mean + (1 - 1/k) * largest module."""
+        if k > len(areas):
+            return
+        assignment = balance_modules(areas, k)
+        bound = sum(areas) / k + (1.0 - 1.0 / k) * max(areas)
+        assert assignment.max_area <= bound + 1e-9
+        assert sum(assignment.bin_areas) == pytest.approx(sum(areas))
+
+
+class TestPartitionModules:
+    def test_builds_system_with_k_chips(self, n5):
+        modules = [Module(f"m{i}", 100.0 + i * 20, n5) for i in range(6)]
+        system = partition_modules("u", modules, n5, 3, mcm())
+        assert len(system.chips) == 3
+        assert system.module_area == pytest.approx(
+            sum(m.area for m in modules)
+        )
+
+    def test_chiplets_balanced(self, n5):
+        modules = [Module(f"m{i}", 100.0, n5) for i in range(4)]
+        system = partition_modules("u", modules, n5, 2, mcm())
+        areas = [chip.module_area for chip in system.chips]
+        assert areas[0] == pytest.approx(areas[1])
+
+
+class TestParetoFrontier:
+    def test_single_objective_is_min(self):
+        items = [3.0, 1.0, 2.0]
+        frontier = pareto_frontier(items, [lambda x: x])
+        assert frontier == [1.0]
+
+    def test_non_dominated_kept(self):
+        # (cost, footprint): (1, 3) and (3, 1) trade off; (4, 4) dominated.
+        items = [(1.0, 3.0), (3.0, 1.0), (4.0, 4.0)]
+        frontier = pareto_frontier(
+            items, [lambda p: p[0], lambda p: p[1]]
+        )
+        assert (1.0, 3.0) in frontier
+        assert (3.0, 1.0) in frontier
+        assert (4.0, 4.0) not in frontier
+
+    def test_duplicates_survive(self):
+        items = [(1.0, 1.0), (1.0, 1.0)]
+        frontier = pareto_frontier(items, [lambda p: p[0], lambda p: p[1]])
+        assert len(frontier) == 2
+
+    def test_no_objectives_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            pareto_frontier([1], [])
+
+
+class TestDesignSpace:
+    def test_contains_soc_and_all_combinations(self, n5):
+        points = design_space(
+            800.0, n5, 5e6, [mcm(), interposer_25d()], chiplet_counts=(2, 3)
+        )
+        labels = {point.label for point in points}
+        assert "SoC x1" in labels
+        assert "MCM x2" in labels
+        assert "2.5D x3" in labels
+        assert len(points) == 5
+
+    def test_frontier_is_subset(self, n5):
+        points = design_space(800.0, n5, 5e6, [mcm()], chiplet_counts=(2, 3))
+        frontier = cost_footprint_frontier(points)
+        assert set(id(p) for p in frontier) <= set(id(p) for p in points)
+        assert frontier
+
+    def test_soc_on_footprint_frontier(self, n5):
+        """The single-die package always has the smallest footprint."""
+        points = design_space(800.0, n5, 5e6, [mcm()], chiplet_counts=(2,))
+        frontier = cost_footprint_frontier(points)
+        assert any(point.scheme == "SoC" for point in frontier)
+
+    def test_invalid_quantity(self, n5):
+        with pytest.raises(InvalidParameterError):
+            design_space(800.0, n5, 0.0, [mcm()])
+
+
+class TestMirroredChiplets:
+    def test_mirror_doubles_chip_designs(self):
+        from repro.reuse.scms import SCMSConfig, build_scms
+
+        symmetric = build_scms(SCMSConfig(symmetrical=True), mcm())
+        mirrored = build_scms(SCMSConfig(symmetrical=False), mcm())
+        sym_chips = {
+            id(chip)
+            for system in symmetric.chiplet.systems
+            for chip, _n in system.unique_chips()
+        }
+        mir_chips = {
+            id(chip)
+            for system in mirrored.chiplet.systems
+            for chip, _n in system.unique_chips()
+        }
+        assert len(sym_chips) == 1
+        assert len(mir_chips) == 2
+
+    def test_mirror_raises_nre_not_re(self):
+        from repro.core.re_cost import compute_re_cost
+        from repro.reuse.scms import SCMSConfig, build_scms
+
+        symmetric = build_scms(SCMSConfig(symmetrical=True), mcm())
+        mirrored = build_scms(SCMSConfig(symmetrical=False), mcm())
+        # Same recurring cost (identical silicon)...
+        for sym, mir in zip(
+            symmetric.chiplet.systems, mirrored.chiplet.systems
+        ):
+            assert compute_re_cost(mir).total == pytest.approx(
+                compute_re_cost(sym).total
+            )
+        # ...but more NRE for the 4X grade (two chip designs).
+        sym_nre = symmetric.chiplet.total_nre().chips
+        mir_nre = mirrored.chiplet.total_nre().chips
+        assert mir_nre == pytest.approx(2.0 * sym_nre)

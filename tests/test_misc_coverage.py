@@ -1,0 +1,98 @@
+"""Coverage for remaining corners: printers, chart edge cases, config
+round-trips of heterogeneous portfolios, InFO package designs."""
+
+import pytest
+
+from repro.config import portfolio_from_dict, portfolio_to_dict
+from repro.core.package_design import PackageDesign
+from repro.core.system import multichip
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.printers import render_fig4_panel, render_fig10
+from repro.packaging.info import info
+from repro.packaging.mcm import mcm
+from repro.reporting.ascii_plot import line_chart
+from repro.reuse.ocme import OCMEConfig, build_ocme
+from repro.reuse.portfolio import Portfolio
+
+
+class TestPrinterContent:
+    def test_fig4_panel_rows_complete(self):
+        [panel] = run_fig4(
+            nodes=("7nm",), chiplet_counts=(2,), areas=(100, 200)
+        )
+        text = render_fig4_panel(panel)
+        # 2 areas x 4 schemes = 8 data rows plus header/rule/title.
+        data_rows = [
+            line for line in text.splitlines()
+            if not line.startswith("Fig.")
+            and any(s in line for s in ("SoC", "MCM", "InFO", "2.5D"))
+        ]
+        assert len(data_rows) == 8
+        assert "wasted KGD" in text
+
+    def test_fig10_render_lists_situations(self):
+        result = run_fig10(situations=((2, 2),))
+        text = render_fig10(result)
+        assert "k=2 n=2" in text
+        assert "SoC" in text and "2.5D" in text
+
+
+class TestChartEdgeCases:
+    def test_flat_series(self):
+        chart = line_chart([0.0, 1.0], {"flat": [2.0, 2.0]})
+        assert "y: [2, 3]" in chart  # degenerate range widened by 1.0
+
+    def test_single_point(self):
+        chart = line_chart([5.0], {"dot": [1.0]})
+        assert "x: [5, 6]" in chart
+
+
+class TestInFOPackageDesign:
+    def test_sized_for_on_info(self):
+        tech = info()
+        design = PackageDesign.for_chips("fo", tech, [300.0, 300.0])
+        small = tech.packaging_cost([300.0], kgd_cost=100.0)
+        reused = design.packaging_cost([300.0], kgd_cost=100.0)
+        # The reused fan-out carries the larger RDL.
+        assert reused.raw_package > small.raw_package
+
+    def test_info_design_nre(self):
+        tech = info()
+        design = PackageDesign.for_chips("fo", tech, [300.0, 300.0])
+        assert design.nre == pytest.approx(tech.package_nre([300.0, 300.0]))
+
+
+class TestHeterogeneousConfigRoundTrip:
+    def test_ocme_hetero_portfolio_round_trip(self):
+        study = build_ocme(OCMEConfig(), mcm())
+        portfolio = study.mcm_heterogeneous
+        restored = portfolio_from_dict(portfolio_to_dict(portfolio))
+        for original, rebuilt in zip(portfolio.systems, restored.systems):
+            assert rebuilt.chips[0].node.name == "14nm"
+            original_cost = portfolio.amortized_cost(original).total
+            rebuilt_cost = restored.amortized_cost(rebuilt).total
+            assert rebuilt_cost == pytest.approx(original_cost)
+
+    def test_scalable_fraction_survives(self):
+        study = build_ocme(OCMEConfig(), mcm())
+        restored = portfolio_from_dict(
+            portfolio_to_dict(study.mcm_heterogeneous)
+        )
+        center_module = restored.systems[0].chips[0].modules[0]
+        assert center_module.scalable_fraction == 0.0
+
+
+class TestPortfolioMixedIntegrations:
+    def test_one_portfolio_two_technologies(self, simple_chiplet):
+        """Chiplet NRE shared even across integration technologies."""
+        mcm_sys = multichip("m", [simple_chiplet], mcm(), quantity=1000.0)
+        info_sys = multichip("i", [simple_chiplet], info(), quantity=1000.0)
+        portfolio = Portfolio([mcm_sys, info_sys])
+        from repro.core.nre_cost import chip_design_nre
+
+        expected = chip_design_nre(simple_chiplet) / 2000.0
+        assert portfolio.amortized_nre(mcm_sys).chips == pytest.approx(expected)
+        assert portfolio.amortized_nre(info_sys).chips == pytest.approx(
+            expected
+        )

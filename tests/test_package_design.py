@@ -1,0 +1,70 @@
+"""PackageDesign: socket fitting and oversized-package costing."""
+
+import pytest
+
+from repro.core.package_design import PackageDesign
+from repro.errors import InvalidParameterError
+
+
+class TestAccommodates:
+    def test_exact_fit(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0, 200.0])
+        assert design.accommodates([100.0, 200.0])
+        assert design.accommodates([200.0, 100.0])
+
+    def test_fewer_chips_fit(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0, 200.0])
+        assert design.accommodates([150.0])
+        assert design.accommodates([200.0])
+
+    def test_too_many_chips_rejected(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0, 200.0])
+        assert not design.accommodates([100.0, 100.0, 100.0])
+
+    def test_oversized_chip_rejected(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0, 200.0])
+        assert not design.accommodates([250.0])
+
+    def test_greedy_matching_both_large(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0, 200.0])
+        assert not design.accommodates([150.0, 150.0])
+
+    def test_empty_design_rejected(self, mcm_tech):
+        with pytest.raises(InvalidParameterError):
+            PackageDesign.for_chips("p", mcm_tech, [])
+
+    def test_nonpositive_socket_rejected(self, mcm_tech):
+        with pytest.raises(InvalidParameterError):
+            PackageDesign.for_chips("p", mcm_tech, [100.0, 0.0])
+
+
+class TestCosting:
+    def test_footprint_follows_design(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0] * 4)
+        assert design.footprint == pytest.approx(
+            mcm_tech.package_area([100.0] * 4)
+        )
+
+    def test_packaging_cost_sized_by_design(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0] * 4)
+        reused = design.packaging_cost([100.0], kgd_cost=50.0)
+        plain = mcm_tech.packaging_cost([100.0], kgd_cost=50.0)
+        assert reused.raw_package > plain.raw_package
+
+    def test_packaging_cost_rejects_misfit(self, mcm_tech):
+        design = PackageDesign.for_chips("p", mcm_tech, [100.0])
+        with pytest.raises(InvalidParameterError):
+            design.packaging_cost([100.0, 100.0], kgd_cost=50.0)
+
+    def test_nre_follows_design_size(self, mcm_tech):
+        small = PackageDesign.for_chips("s", mcm_tech, [100.0])
+        large = PackageDesign.for_chips("l", mcm_tech, [100.0] * 4)
+        assert large.nre > small.nre
+
+    def test_interposer_design_reuse_penalty(self, interposer_tech):
+        """Reusing a 4x interposer for a 1x system carries the large
+        interposer's cost and yield — the paper's Section 5.1 warning."""
+        design = PackageDesign.for_chips("big", interposer_tech, [222.0] * 4)
+        reused = design.packaging_cost([222.0], kgd_cost=40.0)
+        plain = interposer_tech.packaging_cost([222.0], kgd_cost=40.0)
+        assert reused.total > 2.0 * plain.total

@@ -1,0 +1,103 @@
+"""3D stacking integration (extension beyond the paper)."""
+
+import pytest
+
+from repro.core.re_cost import compute_re_cost
+from repro.errors import InvalidParameterError
+from repro.explore.partition import partition_monolith
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.packaging.stacked3d import Stacked3D, stacked_3d
+from repro.process.catalog import get_node
+
+
+class TestGeometry:
+    def test_footprint_follows_base_die_only(self):
+        tech = stacked_3d()
+        single = tech.package_area([400.0])
+        stacked = tech.package_area([400.0, 300.0, 200.0])
+        assert stacked == single
+
+    def test_footprint_smaller_than_mcm(self):
+        """The 3D selling point: board footprint of one die."""
+        chips = [400.0, 400.0]
+        assert stacked_3d().package_area(chips) < mcm().package_area(chips)
+
+    def test_oversized_stacked_die_rejected(self):
+        tech = stacked_3d()
+        with pytest.raises(InvalidParameterError):
+            tech.package_area([300.0, 400.0])  # 400 cannot sit on 300
+        # The first chip is the base, so order matters.
+        assert tech.package_area([500.0, 300.0]) == pytest.approx(
+            500.0 * tech.substrate_area_factor
+        )
+
+    def test_equal_dies_stackable(self):
+        assert stacked_3d().package_area([400.0, 400.0]) > 0
+
+
+class TestCost:
+    def test_single_die_has_no_stack_loss(self):
+        tech = stacked_3d()
+        cost = tech.packaging_cost([400.0], kgd_cost=300.0)
+        # Only the final-attach yield applies.
+        expected_retries = 1.0 / tech.final_yield - 1.0
+        assert cost.wasted_kgd == pytest.approx(300.0 * expected_retries)
+
+    def test_waste_grows_with_stack_height(self):
+        tech = stacked_3d()
+        wastes = [
+            tech.packaging_cost([400.0] * n, kgd_cost=300.0).wasted_kgd
+            for n in (1, 2, 3, 4)
+        ]
+        assert wastes == sorted(wastes)
+
+    def test_tsv_premium_scales_with_base(self):
+        tech = stacked_3d()
+        small = tech.packaging_cost([200.0, 200.0], kgd_cost=0.0)
+        large = tech.packaging_cost([600.0, 600.0], kgd_cost=0.0)
+        assert large.raw_package > small.raw_package
+
+    def test_better_bond_yield_cheaper(self):
+        good = stacked_3d(stack_bond_yield=0.995)
+        poor = stacked_3d(stack_bond_yield=0.95)
+        chips = [400.0, 400.0]
+        assert (
+            good.packaging_cost(chips, 300.0).total
+            < poor.packaging_cost(chips, 300.0).total
+        )
+
+    def test_sized_for_reuse(self):
+        tech = stacked_3d()
+        plain = tech.packaging_cost([200.0], kgd_cost=50.0)
+        oversized = tech.packaging_cost(
+            [200.0], kgd_cost=50.0, sized_for=[400.0, 400.0]
+        )
+        assert oversized.raw_package > plain.raw_package
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            stacked_3d(stack_bond_yield=0.0)
+        with pytest.raises(InvalidParameterError):
+            stacked_3d(tsv_cost_per_mm2=-1.0)
+
+
+class TestSystemLevel:
+    def test_usable_as_integration_tech(self, n5):
+        system = partition_monolith(800.0, n5, 2, stacked_3d())
+        re = compute_re_cost(system)
+        assert re.total > 0
+
+    def test_3d_footprint_beats_25d_cost_depends(self, n5):
+        """3D wins on footprint; cost ranking depends on yields."""
+        chips = partition_monolith(800.0, n5, 2, stacked_3d())
+        chips_25d = partition_monolith(800.0, n5, 2, interposer_25d())
+        assert (
+            chips.integration.package_area(chips.chip_areas)
+            < chips_25d.integration.package_area(chips_25d.chip_areas)
+        )
+
+    def test_nre_includes_tsv_codevelopment(self):
+        assert stacked_3d().package_nre([400.0, 400.0]) > mcm().package_nre(
+            [400.0, 400.0]
+        ) - mcm().nre_fixed

@@ -1,0 +1,157 @@
+"""Integration technologies: areas, cost components, NRE, sizing."""
+
+import pytest
+
+from repro.errors import EmptySystemError, InvalidParameterError
+from repro.packaging.assembly import AssemblyFlow
+from repro.packaging.info import info
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.packaging.soc import soc_package
+from repro.packaging.substrate import OrganicSubstrate
+
+
+class TestSubstrate:
+    def test_cost_scales_with_area_and_layers(self):
+        substrate = OrganicSubstrate(layers=10, cost_per_mm2_per_layer=0.001)
+        assert substrate.cost(1000.0) == pytest.approx(10.0)
+        assert substrate.with_layers(5).cost(1000.0) == pytest.approx(5.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            OrganicSubstrate(layers=0)
+        with pytest.raises(InvalidParameterError):
+            OrganicSubstrate(layers=4).cost(-1.0)
+
+
+class TestSoCPackage:
+    def test_holds_exactly_one_die(self):
+        package = soc_package()
+        assert package.max_chips == 1
+        assert package.supports_chip_count(1)
+        assert not package.supports_chip_count(2)
+        with pytest.raises(InvalidParameterError):
+            package.package_area([100.0, 100.0])
+
+    def test_package_area_factor(self):
+        package = soc_package()
+        assert package.package_area([100.0]) == pytest.approx(
+            100.0 * package.substrate_area_factor
+        )
+
+    def test_packaging_cost_components_nonnegative(self):
+        cost = soc_package().packaging_cost([400.0], kgd_cost=300.0)
+        assert cost.raw_package > 0
+        assert cost.package_defects >= 0
+        assert cost.wasted_kgd >= 0
+
+    def test_empty_chip_list_rejected(self):
+        with pytest.raises(EmptySystemError):
+            soc_package().package_area([])
+
+    def test_nre_affine_in_area(self):
+        package = soc_package()
+        small = package.package_nre([100.0])
+        large = package.package_nre([200.0])
+        assert large > small
+        assert small > package.nre_fixed
+
+
+class TestMCM:
+    def test_area_sums_chips(self):
+        tech = mcm()
+        assert tech.package_area([100.0, 200.0]) == pytest.approx(
+            300.0 * tech.substrate_area_factor
+        )
+
+    def test_more_chips_more_waste(self):
+        tech = mcm()
+        two = tech.packaging_cost([100.0, 100.0], kgd_cost=100.0)
+        four = tech.packaging_cost([50.0] * 4, kgd_cost=100.0)
+        assert four.wasted_kgd > two.wasted_kgd
+
+    def test_sized_for_larger_package(self):
+        tech = mcm()
+        plain = tech.packaging_cost([100.0], kgd_cost=50.0)
+        oversized = tech.packaging_cost(
+            [100.0], kgd_cost=50.0, sized_for=[100.0, 100.0, 100.0, 100.0]
+        )
+        assert oversized.raw_package > plain.raw_package
+        # Bonding yields follow the actual single chip in both cases.
+        assert oversized.wasted_kgd == pytest.approx(
+            plain.wasted_kgd, rel=1e-9
+        )
+
+    def test_mcm_has_more_layers_than_soc(self):
+        # The paper's "growth factor on substrate RE cost".
+        assert mcm().substrate.layers > soc_package().substrate.layers
+
+
+class TestInFO:
+    def test_rdl_area_factor(self):
+        tech = info()
+        assert tech.rdl_area([100.0, 100.0]) == pytest.approx(
+            200.0 * tech.rdl_area_factor
+        )
+
+    def test_chip_first_wastes_more_kgd(self):
+        chip_areas = [300.0, 300.0]
+        kgd = 500.0
+        last = info(flow=AssemblyFlow.CHIP_LAST).packaging_cost(chip_areas, kgd)
+        first = info(flow=AssemblyFlow.CHIP_FIRST).packaging_cost(chip_areas, kgd)
+        assert first.wasted_kgd > last.wasted_kgd
+
+    def test_with_flow_returns_copy(self):
+        tech = info()
+        first = tech.with_flow(AssemblyFlow.CHIP_FIRST)
+        assert first.flow is AssemblyFlow.CHIP_FIRST
+        assert tech.flow is AssemblyFlow.CHIP_LAST
+
+    def test_bigger_rdl_for_more_silicon(self):
+        tech = info()
+        small = tech.packaging_cost([100.0], kgd_cost=10.0)
+        large = tech.packaging_cost([500.0, 500.0], kgd_cost=10.0)
+        assert large.raw_package > small.raw_package
+
+
+class TestInterposer:
+    def test_interposer_area_factor(self):
+        tech = interposer_25d()
+        assert tech.interposer_area([400.0, 400.0]) == pytest.approx(
+            800.0 * tech.interposer_area_factor
+        )
+
+    def test_interposer_costs_more_than_mcm(self):
+        # The paper's Fig. 1 cost ordering: 2.5D > InFO > MCM.
+        chip_areas = [400.0, 400.0]
+        kgd = 400.0
+        mcm_cost = mcm().packaging_cost(chip_areas, kgd).total
+        info_cost = info().packaging_cost(chip_areas, kgd).total
+        interposer_cost = interposer_25d().packaging_cost(chip_areas, kgd).total
+        assert mcm_cost < info_cost < interposer_cost
+
+    def test_large_interposer_suffers_poor_yield(self):
+        """Package-defect share grows with interposer area (the paper's
+        'with a monolithic interposer, advanced packaging technologies
+        still suffer from poor yield'.)"""
+        tech = interposer_25d()
+        small = tech.packaging_cost([200.0], kgd_cost=100.0)
+        large = tech.packaging_cost([500.0, 500.0], kgd_cost=100.0)
+        assert (
+            large.package_defects / large.raw_package
+            > small.package_defects / small.raw_package
+        )
+
+    def test_packaging_nre_ordering(self):
+        # Advanced packages cost more to design (Kp and Cp both larger).
+        chip_areas = [400.0, 400.0]
+        assert (
+            soc_package().package_nre([800.0])
+            < mcm().package_nre(chip_areas)
+            < info().package_nre(chip_areas)
+            < interposer_25d().package_nre(chip_areas)
+        )
+
+    def test_factory_overrides(self):
+        tech = interposer_25d(chip_attach_yield=0.95)
+        assert tech.chip_attach_yield == 0.95

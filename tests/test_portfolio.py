@@ -1,0 +1,174 @@
+"""Portfolio NRE amortization (Eqs. 7-8 with sharing)."""
+
+import pytest
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.nre_cost import chip_design_nre, compute_system_nre
+from repro.core.package_design import PackageDesign
+from repro.core.system import multichip, soc
+from repro.d2d.overhead import FractionOverhead
+from repro.errors import EmptySystemError, InvalidParameterError
+from repro.reuse.portfolio import Portfolio
+
+
+class TestSingleSystem:
+    def test_matches_standalone_nre(self, simple_soc):
+        """A one-system portfolio amortizes exactly like Eq. (7)."""
+        portfolio = Portfolio([simple_soc])
+        amortized = portfolio.amortized_nre(simple_soc)
+        standalone = compute_system_nre(simple_soc)
+        assert amortized.total == pytest.approx(
+            standalone.total / simple_soc.quantity
+        )
+        for component in ("modules", "chips", "packages", "d2d"):
+            assert getattr(amortized, component) == pytest.approx(
+                getattr(standalone, component) / simple_soc.quantity
+            )
+
+    def test_multichip_single_system(self, simple_mcm):
+        portfolio = Portfolio([simple_mcm])
+        amortized = portfolio.amortized_nre(simple_mcm)
+        standalone = compute_system_nre(simple_mcm)
+        assert amortized.total == pytest.approx(
+            standalone.total / simple_mcm.quantity
+        )
+
+
+class TestSharing:
+    def test_shared_chip_split_equally_per_unit(
+        self, simple_chiplet, mcm_tech
+    ):
+        """Two systems sharing a chiplet each bear half its NRE per unit
+        (equal quantities), regardless of instance counts."""
+        one = multichip("one", [simple_chiplet], mcm_tech, quantity=1000.0)
+        four = multichip(
+            "four", [simple_chiplet] * 4, mcm_tech, quantity=1000.0
+        )
+        portfolio = Portfolio([one, four])
+        nre = chip_design_nre(simple_chiplet)
+        share_one = portfolio.amortized_nre(one).chips
+        share_four = portfolio.amortized_nre(four).chips
+        assert share_one == pytest.approx(nre / 2000.0)
+        assert share_four == pytest.approx(nre / 2000.0)
+
+    def test_quantity_weighted_denominator(self, simple_chiplet, mcm_tech):
+        small = multichip("s", [simple_chiplet], mcm_tech, quantity=1000.0)
+        big = multichip("b", [simple_chiplet], mcm_tech, quantity=3000.0)
+        portfolio = Portfolio([small, big])
+        nre = chip_design_nre(simple_chiplet)
+        assert portfolio.amortized_nre(small).chips == pytest.approx(
+            nre / 4000.0
+        )
+
+    def test_unshared_chips_fully_owned(self, n7, mcm_tech):
+        d2d = FractionOverhead(0.10)
+        a = Chip.of("a", (Module("ma", 100.0, n7),), n7, d2d=d2d)
+        b = Chip.of("b", (Module("mb", 100.0, n7),), n7, d2d=d2d)
+        sys_a = multichip("sa", [a], mcm_tech, quantity=1000.0)
+        sys_b = multichip("sb", [b], mcm_tech, quantity=1000.0)
+        portfolio = Portfolio([sys_a, sys_b])
+        assert portfolio.amortized_nre(sys_a).chips == pytest.approx(
+            chip_design_nre(a) / 1000.0
+        )
+
+    def test_shared_package_design(self, simple_chiplet, mcm_tech):
+        design = PackageDesign.for_chips(
+            "shared", mcm_tech, [simple_chiplet.area] * 4
+        )
+        systems = [
+            multichip(
+                f"s{i}",
+                [simple_chiplet] * (i + 1),
+                mcm_tech,
+                quantity=1000.0,
+                package=design,
+            )
+            for i in range(3)
+        ]
+        portfolio = Portfolio(systems)
+        for system in systems:
+            assert portfolio.amortized_nre(system).packages == pytest.approx(
+                design.nre / 3000.0
+            )
+
+    def test_d2d_shared_across_systems(self, simple_chiplet, mcm_tech, n7):
+        one = multichip("one", [simple_chiplet], mcm_tech, quantity=1000.0)
+        two = multichip("two", [simple_chiplet] * 2, mcm_tech, quantity=1000.0)
+        portfolio = Portfolio([one, two])
+        assert portfolio.amortized_nre(one).d2d == pytest.approx(
+            n7.d2d_interface_nre / 2000.0
+        )
+
+    def test_soc_systems_share_modules_not_chips(self, n7, soc_pkg):
+        module = Module("m", 200.0, n7)
+        small = soc("small", [module], n7, soc_pkg, quantity=1000.0)
+        large = soc("large", [module, module], n7, soc_pkg, quantity=1000.0)
+        portfolio = Portfolio([small, large])
+        module_nre_total = n7.km_per_mm2 * 200.0
+        assert portfolio.amortized_nre(small).modules == pytest.approx(
+            module_nre_total / 2000.0
+        )
+        # Chips are distinct designs: each fully owned.
+        small_chip_nre = chip_design_nre(small.chips[0])
+        assert portfolio.amortized_nre(small).chips == pytest.approx(
+            small_chip_nre / 1000.0
+        )
+
+
+class TestAggregates:
+    def test_total_nre_counts_each_design_once(self, simple_chiplet, mcm_tech):
+        one = multichip("one", [simple_chiplet], mcm_tech, quantity=1000.0)
+        four = multichip("four", [simple_chiplet] * 4, mcm_tech, quantity=1000.0)
+        portfolio = Portfolio([one, four])
+        total = portfolio.total_nre()
+        assert total.chips == pytest.approx(chip_design_nre(simple_chiplet))
+
+    def test_amortized_spend_equals_total_nre(self, simple_chiplet, mcm_tech):
+        """Conservation: summing per-unit NRE shares over all production
+        recovers the portfolio NRE exactly."""
+        one = multichip("one", [simple_chiplet], mcm_tech, quantity=1500.0)
+        four = multichip("four", [simple_chiplet] * 4, mcm_tech, quantity=500.0)
+        portfolio = Portfolio([one, four])
+        recovered = sum(
+            portfolio.amortized_nre(system).total * system.quantity
+            for system in portfolio.systems
+        )
+        assert recovered == pytest.approx(portfolio.total_nre().total)
+
+    def test_average_cost_weighted(self, simple_chiplet, mcm_tech):
+        one = multichip("one", [simple_chiplet], mcm_tech, quantity=1000.0)
+        four = multichip("four", [simple_chiplet] * 4, mcm_tech, quantity=1000.0)
+        portfolio = Portfolio([one, four])
+        costs = [
+            portfolio.amortized_cost(system).total for system in portfolio
+        ]
+        assert portfolio.average_cost() == pytest.approx(sum(costs) / 2)
+
+
+class TestValidation:
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(EmptySystemError):
+            Portfolio([])
+
+    def test_duplicate_names_rejected(self, simple_chiplet, mcm_tech):
+        a = multichip("dup", [simple_chiplet], mcm_tech, quantity=1.0)
+        b = multichip("dup", [simple_chiplet], mcm_tech, quantity=1.0)
+        with pytest.raises(InvalidParameterError):
+            Portfolio([a, b])
+
+    def test_non_member_rejected(self, simple_chiplet, mcm_tech):
+        member = multichip("m", [simple_chiplet], mcm_tech, quantity=1.0)
+        outsider = multichip("o", [simple_chiplet], mcm_tech, quantity=1.0)
+        portfolio = Portfolio([member])
+        with pytest.raises(InvalidParameterError):
+            portfolio.amortized_nre(outsider)
+
+    def test_len_and_iter(self, simple_chiplet, mcm_tech):
+        systems = [
+            multichip(f"s{i}", [simple_chiplet], mcm_tech, quantity=1.0)
+            for i in range(3)
+        ]
+        portfolio = Portfolio(systems)
+        assert len(portfolio) == 3
+        assert list(portfolio) == systems

@@ -1,0 +1,89 @@
+"""Portfolio semantics for per-node module variants.
+
+The paper: "D2D interfaces under different process nodes are regarded
+as diverse modules."  The portfolio generalizes that to every module:
+the same module object instantiated on chips at two different nodes is
+two *designs*, each amortized over its own users.
+"""
+
+import pytest
+
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.system import multichip
+from repro.d2d.overhead import FractionOverhead
+from repro.process.catalog import get_node
+from repro.reuse.portfolio import Portfolio
+
+
+@pytest.fixture
+def two_node_portfolio():
+    n7, n14 = get_node("7nm"), get_node("14nm")
+    shared = Module("shared-ip", 100.0, n7)
+    d2d = FractionOverhead(0.10)
+    advanced_chip = Chip.of("adv", (shared,), n7, d2d=d2d)
+    mature_chip = Chip.of("mat", (shared,), n14, d2d=d2d)
+    from repro.packaging.mcm import mcm
+
+    tech = mcm()
+    sys_a = multichip("a", [advanced_chip], tech, quantity=1000.0)
+    sys_b = multichip("b", [mature_chip], tech, quantity=1000.0)
+    return Portfolio([sys_a, sys_b]), sys_a, sys_b, shared
+
+
+def test_module_redesigned_per_node(two_node_portfolio):
+    portfolio, sys_a, sys_b, shared = two_node_portfolio
+    n7, n14 = get_node("7nm"), get_node("14nm")
+    # Each system fully owns its node-variant of the module design.
+    share_a = portfolio.amortized_nre(sys_a).modules
+    share_b = portfolio.amortized_nre(sys_b).modules
+    assert share_a == pytest.approx(
+        n7.km_per_mm2 * shared.area_at(n7) / 1000.0
+    )
+    assert share_b == pytest.approx(
+        n14.km_per_mm2 * shared.area_at(n14) / 1000.0
+    )
+    # Two genuinely different designs: the shares differ (cheaper Km at
+    # 14 nm versus the larger retargeted area).
+    assert share_a != pytest.approx(share_b)
+
+
+def test_total_nre_counts_both_variants(two_node_portfolio):
+    portfolio, _a, _b, shared = two_node_portfolio
+    n7, n14 = get_node("7nm"), get_node("14nm")
+    expected = (
+        n7.km_per_mm2 * shared.area_at(n7)
+        + n14.km_per_mm2 * shared.area_at(n14)
+    )
+    assert portfolio.total_nre().modules == pytest.approx(expected)
+
+
+def test_d2d_units_per_node(two_node_portfolio):
+    portfolio, sys_a, sys_b, _shared = two_node_portfolio
+    n7, n14 = get_node("7nm"), get_node("14nm")
+    assert portfolio.amortized_nre(sys_a).d2d == pytest.approx(
+        n7.d2d_interface_nre / 1000.0
+    )
+    assert portfolio.amortized_nre(sys_b).d2d == pytest.approx(
+        n14.d2d_interface_nre / 1000.0
+    )
+
+
+def test_same_node_sharing_still_works():
+    """Contrast case: same node -> one design shared by both systems."""
+    n7 = get_node("7nm")
+    shared = Module("shared-ip", 100.0, n7)
+    d2d = FractionOverhead(0.10)
+    chip_x = Chip.of("x", (shared,), n7, d2d=d2d)
+    chip_y = Chip.of("y", (shared,), n7, d2d=d2d)
+    from repro.packaging.mcm import mcm
+
+    tech = mcm()
+    sys_x = multichip("x-sys", [chip_x], tech, quantity=1000.0)
+    sys_y = multichip("y-sys", [chip_y], tech, quantity=1000.0)
+    portfolio = Portfolio([sys_x, sys_y])
+    expected = n7.km_per_mm2 * 100.0
+    assert portfolio.total_nre().modules == pytest.approx(expected)
+    assert portfolio.amortized_nre(sys_x).modules == pytest.approx(
+        expected / 2000.0
+    )

@@ -1,0 +1,105 @@
+"""Catalog contents: the paper's Figure 2 parameters must be verbatim."""
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.process.catalog import (
+    NODES,
+    get_node,
+    list_nodes,
+    logic_nodes,
+    packaging_nodes,
+)
+
+
+# (node, defect density /cm^2, cluster parameter) — Fig. 2 legend.
+FIG2_LEGEND = [
+    ("3nm", 0.20, 10.0),
+    ("5nm", 0.11, 10.0),
+    ("7nm", 0.09, 10.0),
+    ("14nm", 0.08, 10.0),
+    ("rdl", 0.05, 3.0),
+    ("si", 0.06, 6.0),
+]
+
+
+@pytest.mark.parametrize("name,density,cluster", FIG2_LEGEND)
+def test_fig2_legend_parameters(name, density, cluster):
+    node = get_node(name)
+    assert node.defect_density == pytest.approx(density)
+    assert node.cluster_param == pytest.approx(cluster)
+
+
+# CSET wafer-price table entries used verbatim.
+CSET_PRICES = [
+    ("5nm", 16988.0),
+    ("7nm", 9346.0),
+    ("10nm", 5992.0),
+    ("28nm", 2891.0),
+    ("40nm", 2274.0),
+    ("65nm", 1937.0),
+    ("90nm", 1650.0),
+]
+
+
+@pytest.mark.parametrize("name,price", CSET_PRICES)
+def test_cset_wafer_prices(name, price):
+    assert get_node(name).wafer_price == pytest.approx(price)
+
+
+def test_get_node_passthrough():
+    node = get_node("7nm")
+    assert get_node(node) is node
+
+
+def test_get_node_unknown_raises_with_hint():
+    with pytest.raises(UnknownNodeError) as excinfo:
+        get_node("4nm")
+    assert "4nm" in str(excinfo.value)
+    assert "7nm" in str(excinfo.value)
+
+
+def test_list_nodes_matches_catalog():
+    assert set(list_nodes()) == set(NODES)
+
+
+def test_logic_and_packaging_partition_catalog():
+    logic = {node.name for node in logic_nodes()}
+    packaging = {node.name for node in packaging_nodes()}
+    assert logic | packaging == set(NODES)
+    assert logic & packaging == set()
+    assert packaging == {"rdl", "si"}
+
+
+def test_advanced_nodes_cost_more_per_wafer():
+    order = ["90nm", "65nm", "40nm", "28nm", "10nm", "7nm", "5nm", "3nm"]
+    prices = [get_node(name).wafer_price for name in order]
+    assert prices == sorted(prices)
+
+
+def test_advanced_nodes_denser():
+    order = ["90nm", "28nm", "14nm", "7nm", "5nm", "3nm"]
+    densities = [get_node(name).transistor_density for name in order]
+    assert densities == sorted(densities)
+
+
+def test_nre_factors_scale_with_design_index():
+    n5, n7 = get_node("5nm"), get_node("7nm")
+    ratio = n7.km_per_mm2 / n5.km_per_mm2
+    assert ratio == pytest.approx(0.55, rel=1e-9)
+    assert n7.kc_per_mm2 / n5.kc_per_mm2 == pytest.approx(ratio)
+    assert n7.d2d_interface_nre / n5.d2d_interface_nre == pytest.approx(ratio)
+
+
+def test_packaging_nodes_have_no_logic_nre():
+    for node in packaging_nodes():
+        assert node.km_per_mm2 == 0.0
+        assert node.kc_per_mm2 == 0.0
+        assert node.transistor_density == 0.0
+
+
+def test_catalog_nodes_carry_mask_costs():
+    for node in logic_nodes():
+        assert node.mask_set_cost > 0
+    # Advanced masks cost more.
+    assert get_node("5nm").mask_set_cost > get_node("28nm").mask_set_cost

@@ -1,0 +1,68 @@
+"""Defect-density learning curves."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.process.catalog import get_node
+from repro.process.defects import DefectLearningCurve, ramp_curve_for
+
+
+def test_density_starts_at_initial():
+    curve = DefectLearningCurve(0.13, 0.09, 4.0)
+    assert curve.density_at(0.0) == pytest.approx(0.13)
+
+
+def test_density_approaches_floor():
+    curve = DefectLearningCurve(0.13, 0.09, 4.0)
+    assert curve.density_at(100.0) == pytest.approx(0.09, abs=1e-6)
+
+
+def test_density_monotone_decreasing():
+    curve = DefectLearningCurve(0.13, 0.09, 4.0)
+    samples = [curve.density_at(t) for t in range(0, 20)]
+    assert samples == sorted(samples, reverse=True)
+
+
+def test_density_one_time_constant():
+    curve = DefectLearningCurve(0.13, 0.09, 4.0)
+    import math
+
+    expected = 0.09 + 0.04 * math.exp(-1.0)
+    assert curve.density_at(4.0) == pytest.approx(expected)
+
+
+def test_negative_time_rejected():
+    curve = DefectLearningCurve(0.13, 0.09, 4.0)
+    with pytest.raises(InvalidParameterError):
+        curve.density_at(-1.0)
+
+
+def test_initial_below_floor_rejected():
+    with pytest.raises(InvalidParameterError):
+        DefectLearningCurve(0.05, 0.09, 4.0)
+
+
+def test_nonpositive_time_constant_rejected():
+    with pytest.raises(InvalidParameterError):
+        DefectLearningCurve(0.13, 0.09, 0.0)
+
+
+def test_negative_floor_rejected():
+    with pytest.raises(InvalidParameterError):
+        DefectLearningCurve(0.13, -0.01, 4.0)
+
+
+def test_node_at_returns_updated_node():
+    node = get_node("7nm")
+    curve = ramp_curve_for(node, initial_density=0.13)
+    ramped = curve.node_at(node, 0.0)
+    assert ramped.defect_density == pytest.approx(0.13)
+    assert ramped.name == node.name
+    mature = curve.node_at(node, 1000.0)
+    assert mature.defect_density == pytest.approx(node.defect_density, abs=1e-9)
+
+
+def test_ramp_curve_floor_is_catalog_density():
+    node = get_node("7nm")
+    curve = ramp_curve_for(node, initial_density=0.2, time_constant=2.0)
+    assert curve.mature_density == node.defect_density

@@ -1,0 +1,87 @@
+"""ProcessNode construction, validation and derived properties."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.process.node import ProcessNode
+
+
+def make_node(**overrides):
+    params = dict(
+        name="test",
+        defect_density=0.09,
+        cluster_param=10.0,
+        wafer_price=9346.0,
+    )
+    params.update(overrides)
+    return ProcessNode(**params)
+
+
+class TestValidation:
+    def test_negative_defect_density_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_node(defect_density=-0.1)
+
+    def test_zero_defect_density_allowed(self):
+        assert make_node(defect_density=0.0).defect_density == 0.0
+
+    def test_nonpositive_cluster_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_node(cluster_param=0.0)
+        with pytest.raises(InvalidParameterError):
+            make_node(cluster_param=-1.0)
+
+    def test_negative_wafer_price_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_node(wafer_price=-1.0)
+
+    def test_nonpositive_diameter_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_node(wafer_diameter=0.0)
+
+
+class TestDerivedProperties:
+    def test_wafer_area_is_circle(self):
+        node = make_node(wafer_diameter=300.0)
+        assert node.wafer_area == pytest.approx(math.pi * 150.0**2)
+
+    def test_wafer_cost_per_mm2(self):
+        node = make_node(wafer_price=7068.58, wafer_diameter=300.0)
+        assert node.wafer_cost_per_mm2 == pytest.approx(
+            7068.58 / (math.pi * 22500.0)
+        )
+
+    def test_fixed_chip_nre_sums_masks_and_ip(self):
+        node = make_node(mask_set_cost=14e6, ip_fixed_cost=96e6)
+        assert node.fixed_chip_nre == pytest.approx(110e6)
+
+    def test_default_packaging_flag_false(self):
+        assert make_node().is_packaging_node is False
+
+
+class TestEvolve:
+    def test_evolve_replaces_field(self):
+        node = make_node()
+        early = node.evolve(defect_density=0.13)
+        assert early.defect_density == 0.13
+        assert early.name == node.name
+
+    def test_evolve_does_not_mutate_original(self):
+        node = make_node()
+        node.evolve(defect_density=0.5)
+        assert node.defect_density == 0.09
+
+    def test_with_defect_density(self):
+        node = make_node()
+        assert node.with_defect_density(0.2).defect_density == 0.2
+
+    def test_evolve_validates(self):
+        with pytest.raises(InvalidParameterError):
+            make_node().evolve(defect_density=-1.0)
+
+    def test_nodes_are_frozen(self):
+        node = make_node()
+        with pytest.raises(Exception):
+            node.defect_density = 0.5  # type: ignore[misc]

@@ -1,0 +1,73 @@
+"""Area scaling between nodes."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.process.catalog import get_node
+from repro.process.scaling import area_scale_factor, scale_area
+
+
+class TestAreaScaleFactor:
+    def test_same_node_is_identity(self):
+        n7 = get_node("7nm")
+        assert area_scale_factor(n7, n7) == 1.0
+        assert area_scale_factor(n7, n7, scalable_fraction=0.3) == 1.0
+
+    def test_full_scaling_uses_density_ratio(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        expected = n14.transistor_density / n7.transistor_density
+        assert area_scale_factor(n14, n7) == pytest.approx(expected)
+
+    def test_unscalable_module_keeps_area(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        assert area_scale_factor(n14, n7, scalable_fraction=0.0) == 1.0
+
+    def test_partial_scaling_interpolates(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        full = area_scale_factor(n14, n7, 1.0)
+        half = area_scale_factor(n14, n7, 0.5)
+        assert half == pytest.approx(0.5 * full + 0.5)
+
+    def test_advanced_to_mature_grows_area(self):
+        n7, n14 = get_node("7nm"), get_node("14nm")
+        assert area_scale_factor(n7, n14) > 1.0
+
+    def test_round_trip_is_identity_for_full_scaling(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        assert area_scale_factor(n14, n7) * area_scale_factor(
+            n7, n14
+        ) == pytest.approx(1.0)
+
+    def test_fraction_out_of_range_rejected(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        with pytest.raises(InvalidParameterError):
+            area_scale_factor(n14, n7, scalable_fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            area_scale_factor(n14, n7, scalable_fraction=-0.1)
+
+    def test_packaging_node_rejected_for_scaling(self):
+        rdl, n7 = get_node("rdl"), get_node("7nm")
+        with pytest.raises(InvalidParameterError):
+            area_scale_factor(rdl, n7)
+
+    def test_packaging_node_allowed_when_unscalable(self):
+        rdl, n7 = get_node("rdl"), get_node("7nm")
+        assert area_scale_factor(rdl, n7, scalable_fraction=0.0) == 1.0
+
+
+class TestScaleArea:
+    def test_scales_area(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        scaled = scale_area(100.0, n14, n7)
+        assert scaled == pytest.approx(
+            100.0 * n14.transistor_density / n7.transistor_density
+        )
+
+    def test_zero_area_stays_zero(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        assert scale_area(0.0, n14, n7) == 0.0
+
+    def test_negative_area_rejected(self):
+        n14, n7 = get_node("14nm"), get_node("7nm")
+        with pytest.raises(InvalidParameterError):
+            scale_area(-1.0, n14, n7)

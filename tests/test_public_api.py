@@ -1,0 +1,60 @@
+"""Public API surface: everything in __all__ resolves and core paths
+are reachable from a single `import repro`."""
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"missing export: {name}"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_one_import_quickstart():
+    """The README quickstart works with only the top-level import."""
+    n5 = repro.get_node("5nm")
+    design = repro.Module("compute", 800.0, n5)
+    mono = repro.soc(
+        "soc-800", [design], n5, repro.soc_package(), quantity=500_000
+    )
+    d2d = repro.FractionOverhead(0.10)
+    half_a = repro.chiplet("a", [repro.Module("ma", 400.0, n5)], n5, d2d)
+    half_b = repro.chiplet("b", [repro.Module("mb", 400.0, n5)], n5, d2d)
+    multi = repro.multichip(
+        "mcm-800", [half_a, half_b], repro.mcm(), quantity=500_000
+    )
+    assert repro.compute_re_cost(mono).total > 0
+    assert repro.compute_total_cost(multi).total > 0
+    payback = repro.multichip_payback_quantity(mono, multi)
+    assert payback is not None
+
+
+def test_subpackage_extensions_importable():
+    from repro.packaging import stacked_3d
+    from repro.wafer import HarvestSpec, harvested_die_cost
+    from repro.explore import balance_modules, design_space, pareto_frontier
+
+    assert stacked_3d().name == "3d"
+    assert HarvestSpec(0.5, 0.5).salvage_fraction == 0.5
+    assert callable(harvested_die_cost)
+    assert callable(balance_modules)
+    assert callable(design_space)
+    assert callable(pareto_frontier)
+
+
+def test_error_hierarchy_exported():
+    assert issubclass(repro.UnknownNodeError, repro.ChipletActuaryError)
+    assert issubclass(repro.InvalidParameterError, repro.ChipletActuaryError)
+
+
+def test_docstrings_on_public_callables():
+    """Every public item reachable from the top level is documented."""
+    undocumented = []
+    for name in repro.__all__:
+        item = getattr(repro, name)
+        if callable(item) and not getattr(item, "__doc__", None):
+            undocumented.append(name)
+    assert not undocumented, f"undocumented public items: {undocumented}"

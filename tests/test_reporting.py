@@ -1,0 +1,132 @@
+"""Reporting layer: tables, series, ASCII charts."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.reporting.ascii_plot import bar_chart, line_chart, stacked_bar_chart
+from repro.reporting.series import FigureData, Series
+from repro.reporting.table import Table
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"], title="t")
+        table.add_row(["a", 1.0])
+        table.add_row(["long-name", 123.456])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_precision(self):
+        table = Table(["x"], precision=1)
+        table.add_row([1.25])
+        assert "1.2" in table.render() or "1.3" in table.render()
+
+    def test_bool_formatting(self):
+        table = Table(["flag"])
+        table.add_row([True])
+        assert "yes" in table.render()
+
+    def test_row_width_mismatch_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(InvalidParameterError):
+            table.add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Table([])
+
+
+class TestSeries:
+    def test_figure_data_validates_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            FigureData(
+                title="t",
+                x_label="x",
+                xs=(1, 2, 3),
+                series=(Series.of("s", [1.0, 2.0]),),
+            )
+
+    def test_get_by_name(self):
+        figure = FigureData(
+            title="t",
+            x_label="x",
+            xs=(1, 2),
+            series=(Series.of("a", [1.0, 2.0]), Series.of("b", [3.0, 4.0])),
+        )
+        assert figure.get("b").ys == (3.0, 4.0)
+        with pytest.raises(KeyError):
+            figure.get("c")
+        assert figure.names() == ["a", "b"]
+
+    def test_csv_export(self):
+        figure = FigureData(
+            title="t",
+            x_label="area",
+            xs=(100, 200),
+            series=(Series.of("yield", [0.9, 0.8]),),
+        )
+        csv = figure.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "area,yield"
+        assert lines[1] == "100,0.9"
+
+    def test_write_csv(self, tmp_path):
+        figure = FigureData(
+            title="t", x_label="x", xs=(1,), series=(Series.of("s", [2.0]),)
+        )
+        path = tmp_path / "out.csv"
+        figure.write_csv(str(path))
+        assert path.read_text().startswith("x,s")
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Series.of("s", [])
+
+
+class TestAsciiPlots:
+    def test_bar_chart_scales_to_max(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(InvalidParameterError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(InvalidParameterError):
+            bar_chart([], [])
+
+    def test_stacked_bar_chart_legend_and_totals(self):
+        chart = stacked_bar_chart(
+            ["x"], {"raw": [1.0], "defects": [0.5]}, width=30
+        )
+        assert "legend:" in chart
+        assert "1.500" in chart
+
+    def test_stacked_bar_chart_validation(self):
+        with pytest.raises(InvalidParameterError):
+            stacked_bar_chart(["x"], {})
+        with pytest.raises(InvalidParameterError):
+            stacked_bar_chart(["x"], {"a": [1.0, 2.0]})
+
+    def test_line_chart_bounds(self):
+        chart = line_chart(
+            [0.0, 1.0, 2.0],
+            {"y": [0.0, 1.0, 4.0]},
+            height=8,
+            width=20,
+        )
+        assert "y: [0, 4]" in chart
+        assert "x: [0, 2]" in chart
+
+    def test_line_chart_validation(self):
+        with pytest.raises(InvalidParameterError):
+            line_chart([], {"y": []})
+        with pytest.raises(InvalidParameterError):
+            line_chart([1.0], {})

@@ -1,0 +1,117 @@
+"""FSMC scheme: collocation combinatorics and reuse economics."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.packaging.mcm import mcm
+from repro.reuse.fsmc import (
+    FSMCConfig,
+    build_fsmc,
+    collocation_count,
+    enumerate_collocations,
+)
+
+
+class TestCombinatorics:
+    @pytest.mark.parametrize(
+        "n,k,expected",
+        [
+            (2, 2, 2 + 3),
+            (4, 2, 4 + 10),
+            (4, 3, 4 + 10 + 20),
+            (4, 4, 4 + 10 + 20 + 35),
+            (6, 4, 6 + 21 + 56 + 126),
+            (1, 1, 1),
+            (1, 5, 5),
+        ],
+    )
+    def test_closed_form(self, n, k, expected):
+        assert collocation_count(n, k) == expected
+
+    @pytest.mark.parametrize("n,k", [(2, 2), (3, 3), (4, 4), (6, 4), (5, 2)])
+    def test_enumeration_matches_closed_form(self, n, k):
+        assert len(enumerate_collocations(n, k)) == collocation_count(n, k)
+
+    def test_enumeration_is_multisets(self):
+        collocations = enumerate_collocations(3, 2)
+        assert (0,) in collocations
+        assert (0, 0) in collocations
+        assert (0, 1) in collocations
+        assert (1, 0) not in collocations  # canonical (sorted) form only
+
+    def test_enumeration_unique(self):
+        collocations = enumerate_collocations(6, 4)
+        assert len(set(collocations)) == len(collocations)
+
+    def test_paper_formula_term(self):
+        # One term of the paper's sum: C(n+i-1, i).
+        assert math.comb(6 + 4 - 1, 4) == 126
+
+    def test_invalid_arguments(self):
+        with pytest.raises(InvalidParameterError):
+            collocation_count(0, 2)
+        with pytest.raises(InvalidParameterError):
+            enumerate_collocations(2, 0)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return build_fsmc(FSMCConfig(n_chiplets=3, k_sockets=2), mcm())
+
+
+class TestStructure:
+    def test_system_count(self, study):
+        assert study.system_count == collocation_count(3, 2)
+        assert len(study.soc) == study.system_count
+
+    def test_multichip_shares_one_package(self, study):
+        designs = {id(system.package) for system in study.multichip.systems}
+        assert len(designs) == 1
+
+    def test_chip_designs_limited_to_n(self, study):
+        chips = {
+            id(chip)
+            for system in study.multichip.systems
+            for chip, _n in system.unique_chips()
+        }
+        assert len(chips) == 3
+
+    def test_soc_chip_designs_one_per_system(self, study):
+        chips = {
+            id(system.chips[0]) for system in study.soc.systems
+        }
+        assert len(chips) == study.system_count
+
+
+class TestEconomics:
+    def test_multichip_nre_flat_in_system_count(self):
+        """Adding collocations does not add multi-chip designs, so the
+        portfolio NRE stays flat while SoC NRE grows."""
+        small = build_fsmc(FSMCConfig(n_chiplets=4, k_sockets=2), mcm())
+        large = build_fsmc(FSMCConfig(n_chiplets=4, k_sockets=3), mcm())
+        assert large.multichip.total_nre().chips == pytest.approx(
+            small.multichip.total_nre().chips
+        )
+        assert large.soc.total_nre().chips > small.soc.total_nre().chips
+
+    def test_amortized_nre_shrinks_with_reuse(self):
+        """The paper: 'the more chiplets are reused, the more benefits
+        from NRE cost amortization'."""
+        low = build_fsmc(FSMCConfig(n_chiplets=2, k_sockets=2), mcm())
+        high = build_fsmc(FSMCConfig(n_chiplets=4, k_sockets=4), mcm())
+
+        def avg_nre(portfolio):
+            return sum(
+                portfolio.amortized_nre(system).total * system.quantity
+                for system in portfolio.systems
+            ) / portfolio.total_quantity
+
+        assert avg_nre(high.multichip) < avg_nre(low.multichip)
+
+    def test_multichip_beats_soc_at_high_reuse(self):
+        study = build_fsmc(FSMCConfig(n_chiplets=4, k_sockets=4), mcm())
+        assert (
+            study.multichip.average_cost() < study.soc.average_cost()
+        )

@@ -1,0 +1,114 @@
+"""OCME scheme structure and heterogeneity economics (Section 5.2)."""
+
+import pytest
+
+from repro.core.re_cost import compute_re_cost
+from repro.errors import InvalidParameterError
+from repro.packaging.mcm import mcm
+from repro.reuse.ocme import OCMEConfig, build_ocme
+
+
+@pytest.fixture(scope="module")
+def study():
+    return build_ocme(OCMEConfig(), mcm())
+
+
+class TestConfig:
+    def test_default_labels(self):
+        config = OCMEConfig()
+        labels = [config.system_label(c) for c in config.systems]
+        assert labels == ["C", "C+1X", "C+1X+1Y", "C+2X+2Y"]
+
+    def test_socket_overflow_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            OCMEConfig(systems=((5, 0),), extension_sockets=4)
+
+    def test_mismatched_widths_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            OCMEConfig(systems=((1, 0), (1,)))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            OCMEConfig(systems=((-1, 0),))
+
+
+class TestStructure:
+    def test_four_variants_four_systems(self, study):
+        for portfolio in (
+            study.soc,
+            study.mcm,
+            study.mcm_package_reused,
+            study.mcm_heterogeneous,
+        ):
+            assert len(portfolio) == 4
+
+    def test_center_chip_shared_across_mcm_systems(self, study):
+        centers = set()
+        for system in study.mcm.systems:
+            centers.add(id(system.chips[0]))
+        assert len(centers) == 1
+
+    def test_chip_counts_match_configuration(self, study):
+        counts = [len(system.chips) for system in study.mcm.systems]
+        assert counts == [1, 2, 3, 5]
+
+    def test_heterogeneous_center_on_mature_node(self, study):
+        for system in study.mcm_heterogeneous.systems:
+            assert system.chips[0].node.name == "14nm"
+            for chip in system.chips[1:]:
+                assert chip.node.name == "7nm"
+
+    def test_heterogeneous_center_area_unchanged(self, study):
+        """The center module is unscalable, so the mature die has the
+        same area as the advanced one."""
+        advanced = study.mcm.systems[0].chips[0].area
+        mature = study.mcm_heterogeneous.systems[0].chips[0].area
+        assert mature == pytest.approx(advanced)
+
+    def test_package_reused_variants_share_design(self, study):
+        designs = {
+            id(system.package) for system in study.mcm_package_reused.systems
+        }
+        assert designs != {None}
+        assert len(designs) == 1
+
+
+class TestEconomics:
+    def test_heterogeneous_center_cheaper_re(self, study):
+        """Mature-node center die cuts RE cost (same area, cheaper wafer)."""
+        homogeneous = compute_re_cost(
+            study.mcm_package_reused.systems[0]
+        ).total
+        heterogeneous = compute_re_cost(
+            study.mcm_heterogeneous.systems[0]
+        ).total
+        assert heterogeneous < homogeneous
+
+    def test_heterogeneity_saves_total_cost(self, study):
+        """The paper: 'the total costs are further reduced by more than
+        10%' with heterogeneous integration."""
+        for reused_sys, hetero_sys in zip(
+            study.mcm_package_reused.systems, study.mcm_heterogeneous.systems
+        ):
+            reused = study.mcm_package_reused.amortized_cost(reused_sys).total
+            hetero = study.mcm_heterogeneous.amortized_cost(hetero_sys).total
+            assert hetero < reused
+
+    def test_mcm_beats_soc_for_largest_system(self, study):
+        soc_cost = study.soc.amortized_cost(study.soc.systems[-1]).total
+        mcm_cost = study.mcm.amortized_cost(study.mcm.systems[-1]).total
+        assert mcm_cost < soc_cost
+
+    def test_chip_nre_saving_below_half(self, study):
+        """The paper: OCME 'reuse benefit is not as evident (NRE
+        cost-saving < 50%) as the SCMS scheme'."""
+        soc_nre = sum(
+            study.soc.amortized_nre(system).total * system.quantity
+            for system in study.soc.systems
+        )
+        mcm_nre = sum(
+            study.mcm.amortized_nre(system).total * system.quantity
+            for system in study.mcm.systems
+        )
+        saving = 1.0 - mcm_nre / soc_nre
+        assert 0.0 < saving < 0.5

@@ -1,0 +1,129 @@
+"""SCMS scheme structure and economics (Section 5.1)."""
+
+import pytest
+
+from repro.core.re_cost import compute_re_cost
+from repro.errors import InvalidParameterError
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.process.catalog import get_node
+from repro.reuse.scms import SCMSConfig, build_scms
+
+
+@pytest.fixture(scope="module")
+def study():
+    return build_scms(SCMSConfig(), mcm())
+
+
+class TestStructure:
+    def test_three_portfolios_of_three_grades(self, study):
+        assert len(study.soc) == 3
+        assert len(study.chiplet) == 3
+        assert len(study.chiplet_package_reused) == 3
+
+    def test_single_chiplet_design_shared(self, study):
+        chips = {
+            id(chip)
+            for system in study.chiplet.systems
+            for chip, _n in system.unique_chips()
+        }
+        assert len(chips) == 1
+
+    def test_soc_systems_share_the_module(self, study):
+        modules = {
+            id(module)
+            for system in study.soc.systems
+            for module in system.unique_modules()
+        }
+        assert len(modules) == 1
+
+    def test_grade_multiplicities(self, study):
+        counts = [len(system.chips) for system in study.chiplet.systems]
+        assert counts == [1, 2, 4]
+
+    def test_soc_systems_monolithic(self, study):
+        for system in study.soc.systems:
+            assert len(system.chips) == 1
+            assert not system.chips[0].is_chiplet
+
+    def test_reused_portfolio_shares_one_package(self, study):
+        designs = {
+            id(system.package)
+            for system in study.chiplet_package_reused.systems
+        }
+        assert len(designs) == 1
+        assert None not in designs
+
+
+class TestEconomics:
+    def test_chiplet_chip_nre_equal_across_grades(self, study):
+        shares = [
+            study.chiplet.amortized_nre(system).chips
+            for system in study.chiplet.systems
+        ]
+        assert shares[0] == pytest.approx(shares[1])
+        assert shares[1] == pytest.approx(shares[2])
+
+    def test_soc_chip_nre_grows_with_grade(self, study):
+        shares = [
+            study.soc.amortized_nre(system).chips
+            for system in study.soc.systems
+        ]
+        assert shares == sorted(shares)
+        assert shares[-1] > shares[0]
+
+    def test_package_reuse_cuts_large_grade_package_nre(self, study):
+        plain = study.chiplet.amortized_nre(study.chiplet.systems[-1])
+        reused = study.chiplet_package_reused.amortized_nre(
+            study.chiplet_package_reused.systems[-1]
+        )
+        # Shared across 3 grades -> exactly one third.
+        assert reused.packages == pytest.approx(plain.packages / 3.0)
+
+    def test_package_reuse_raises_small_grade_re(self, study):
+        plain = compute_re_cost(study.chiplet.systems[0]).total
+        reused = compute_re_cost(
+            study.chiplet_package_reused.systems[0]
+        ).total
+        assert reused > plain
+
+    def test_package_reuse_does_not_change_largest_re(self, study):
+        plain = compute_re_cost(study.chiplet.systems[-1]).total
+        reused = compute_re_cost(
+            study.chiplet_package_reused.systems[-1]
+        ).total
+        assert reused == pytest.approx(plain)
+
+
+class TestInterposerVariant:
+    def test_25d_package_reuse_uneconomic(self):
+        """The paper: 'package reuse is uneconomic for high-cost 2.5D
+        integrations'."""
+        study = build_scms(SCMSConfig(), interposer_25d())
+        plain_avg = study.chiplet.average_cost()
+        reused_avg = study.chiplet_package_reused.average_cost()
+        assert reused_avg > plain_avg
+
+    def test_mcm_package_reuse_closer_call(self):
+        """For MCM the two options are within ~15% (the paper: 'depends
+        on which accounts for a more significant proportion')."""
+        study = build_scms(SCMSConfig(), mcm())
+        plain_avg = study.chiplet.average_cost()
+        reused_avg = study.chiplet_package_reused.average_cost()
+        assert abs(reused_avg - plain_avg) / plain_avg < 0.15
+
+
+class TestConfig:
+    def test_empty_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SCMSConfig(counts=())
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SCMSConfig(counts=(0, 2))
+
+    def test_custom_node(self):
+        config = SCMSConfig(node=get_node("5nm"), counts=(1, 2))
+        study = build_scms(config, mcm())
+        assert study.grades() == (1, 2)
+        assert study.chiplet.systems[0].chips[0].node.name == "5nm"

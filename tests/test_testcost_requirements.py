@@ -1,0 +1,159 @@
+"""Explicit test-cost model and inverse-requirements solvers."""
+
+import pytest
+
+from repro.core.re_cost import compute_re_cost
+from repro.errors import InvalidParameterError
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.explore.requirements import (
+    max_affordable_area,
+    max_d2d_fraction,
+    required_defect_density,
+)
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+from repro.packaging.testcost import TestCostModel, compute_tested_re_cost
+from repro.process.catalog import get_node
+
+
+class TestTestCostModel:
+    def test_sort_cost_scales_with_area(self):
+        model = TestCostModel()
+        assert model.sort_cost(200.0, False) == pytest.approx(
+            2 * model.sort_cost(100.0, False)
+        )
+
+    def test_kgd_multiplier(self):
+        model = TestCostModel(kgd_multiplier=2.0)
+        assert model.sort_cost(100.0, True) == pytest.approx(
+            2.0 * model.sort_cost(100.0, False)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            TestCostModel(kgd_multiplier=0.5)
+        with pytest.raises(InvalidParameterError):
+            TestCostModel(tester_cost_per_hour=-1.0)
+        with pytest.raises(InvalidParameterError):
+            TestCostModel().sort_cost(0.0, False)
+
+
+class TestTestedRECost:
+    def test_total_is_base_plus_test(self, n7):
+        system = partition_monolith(700.0, n7, 2, mcm())
+        tested = compute_tested_re_cost(system)
+        assert tested.total == pytest.approx(
+            tested.base.total + tested.wafer_sort + tested.package_test
+        )
+        assert tested.base.total == pytest.approx(
+            compute_re_cost(system).total
+        )
+
+    def test_paper_assumption_test_is_small(self, n7, n5):
+        """The paper folds test cost in 'because they are not so
+        significant' — verify: under 6% for representative systems."""
+        for system in (
+            soc_reference(600.0, n5),
+            partition_monolith(600.0, n5, 2, mcm()),
+            partition_monolith(800.0, n7, 3, interposer_25d()),
+        ):
+            tested = compute_tested_re_cost(system)
+            assert 0.0 < tested.test_share < 0.06
+
+    def test_chiplets_pay_more_sort_per_mm2(self, n7):
+        """KGD-grade sort makes the chiplet system's sort bill bigger
+        than the monolithic one despite similar silicon area."""
+        soc_tested = compute_tested_re_cost(soc_reference(700.0, n7))
+        mcm_tested = compute_tested_re_cost(
+            partition_monolith(700.0, n7, 2, mcm())
+        )
+        assert mcm_tested.wafer_sort > soc_tested.wafer_sort
+
+    def test_custom_model(self, n7):
+        system = soc_reference(400.0, n7)
+        cheap = compute_tested_re_cost(
+            system, TestCostModel(tester_cost_per_hour=100.0)
+        )
+        pricey = compute_tested_re_cost(
+            system, TestCostModel(tester_cost_per_hour=1000.0)
+        )
+        assert pricey.test_total > cheap.test_total
+
+
+class TestMaxAffordableArea:
+    def test_budget_is_respected(self, n5):
+        area = max_affordable_area(n5, 200.0)
+        assert area is not None
+        cost = compute_re_cost(soc_reference(area, n5)).total
+        assert cost <= 200.0 * 1.01
+
+    def test_larger_budget_larger_area(self, n5):
+        small = max_affordable_area(n5, 100.0)
+        large = max_affordable_area(n5, 400.0)
+        assert small is not None and large is not None
+        assert large > small
+
+    def test_impossible_budget_returns_none(self, n5):
+        assert max_affordable_area(n5, 0.01) is None
+
+    def test_invalid_budget(self, n5):
+        with pytest.raises(InvalidParameterError):
+            max_affordable_area(n5, 0.0)
+
+
+class TestRequiredDefectDensity:
+    def test_achievable_budget(self, n5):
+        density = required_defect_density(800.0, n5, 500.0)
+        assert density is not None
+        evolved = n5.with_defect_density(density)
+        cost = compute_re_cost(soc_reference(800.0, evolved)).total
+        assert cost <= 500.0 * 1.01
+
+    def test_already_sufficient_returns_catalog(self, n5):
+        generous = required_defect_density(800.0, n5, 1e6)
+        assert generous == pytest.approx(n5.defect_density)
+
+    def test_unreachable_returns_none(self, n5):
+        # Even a perfect process cannot beat the raw wafer share.
+        assert required_defect_density(800.0, n5, 1.0) is None
+
+
+class TestMaxD2DFraction:
+    def test_budget_fraction_in_range(self, n5):
+        fraction = max_d2d_fraction(800.0, n5, 2, mcm())
+        assert fraction is not None
+        assert 0.0 < fraction < 0.6
+
+    def test_at_the_limit_costs_match(self, n5):
+        fraction = max_d2d_fraction(800.0, n5, 2, mcm())
+        soc_cost = compute_re_cost(soc_reference(800.0, n5)).total
+        multi = partition_monolith(800.0, n5, 2, mcm(), d2d_fraction=fraction)
+        assert compute_re_cost(multi).total <= soc_cost * 1.005
+
+    def test_losing_partition_returns_none(self, n14):
+        # Tiny mature-node chip on 2.5D: never wins.
+        assert max_d2d_fraction(100.0, n14, 2, interposer_25d()) is None
+
+
+class TestActiveInterposer:
+    def test_active_uses_logic_carrier(self):
+        passive = interposer_25d()
+        active = interposer_25d(active=True)
+        assert passive.interposer_node.name == "si"
+        assert active.interposer_node.name == "65nm"
+        assert (
+            active.interposer_node.wafer_price
+            > get_node("65nm").wafer_price
+        )
+
+    def test_active_costs_more(self):
+        chips = [400.0, 400.0]
+        passive = interposer_25d().packaging_cost(chips, 300.0)
+        active = interposer_25d(active=True).packaging_cost(chips, 300.0)
+        assert active.total > passive.total
+
+    def test_active_nre_premium(self):
+        chips = [400.0, 400.0]
+        assert interposer_25d(active=True).package_nre(
+            chips
+        ) > interposer_25d().package_nre(chips)

@@ -1,0 +1,98 @@
+"""AMD-style validation configuration (Fig. 5 inputs)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.validate.amd import (
+    AMDConfig,
+    build_amd_mcm,
+    build_amd_monolithic,
+    compare_amd,
+)
+
+
+class TestConfig:
+    def test_default_uses_ramp_defect_densities(self):
+        config = AMDConfig()
+        assert config.compute_node.defect_density == pytest.approx(0.13)
+        assert config.io_node.defect_density == pytest.approx(0.12)
+
+    def test_ccd_count(self):
+        config = AMDConfig()
+        assert config.ccd_count(16) == 2
+        assert config.ccd_count(64) == 8
+
+    def test_non_integral_ccd_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AMDConfig(core_counts=(20,))
+
+    def test_module_areas_exclude_d2d(self):
+        config = AMDConfig()
+        assert config.core_module().area == pytest.approx(74.0 * 0.9)
+        assert config.io_module().area == pytest.approx(416.0 * 0.9)
+
+
+class TestSystems:
+    def test_mcm_chip_count(self):
+        config = AMDConfig()
+        system = build_amd_mcm(config, 64)
+        assert len(system.chips) == 9  # 8 CCDs + IOD
+
+    def test_mcm_ccd_area_matches_public_figure(self):
+        config = AMDConfig()
+        system = build_amd_mcm(config, 16)
+        ccd = system.chips[0]
+        assert ccd.area == pytest.approx(74.0, rel=1e-6)
+
+    def test_monolithic_is_one_die(self):
+        config = AMDConfig()
+        system = build_amd_monolithic(config, 64)
+        assert len(system.chips) == 1
+        assert not system.chips[0].is_chiplet
+
+    def test_monolithic_io_shrinks_partially(self):
+        """The IO module is bigger than a full-scaling port but smaller
+        than no scaling at all."""
+        config = AMDConfig()
+        mono = build_amd_monolithic(config, 16)
+        io_area_12nm = config.io_module().area
+        core_area = config.core_module().area
+        io_area_on_7nm = mono.chips[0].module_area - 2 * core_area
+        full_shrink = io_area_12nm * (
+            config.io_node.transistor_density
+            / config.compute_node.transistor_density
+        )
+        assert full_shrink < io_area_on_7nm < io_area_12nm
+
+    def test_monolithic_64c_near_amd_public_figure(self):
+        """AMD's ISCA'21 hypothetical monolithic 64-core is ~777 mm^2."""
+        config = AMDConfig()
+        mono = build_amd_monolithic(config, 64)
+        assert mono.chips[0].area == pytest.approx(777.0, rel=0.05)
+
+
+class TestComparison:
+    def test_rows_for_each_core_count(self):
+        rows = compare_amd()
+        assert [row.cores for row in rows] == [16, 24, 32, 48, 64]
+
+    def test_die_saving_grows_with_cores(self):
+        rows = compare_amd()
+        savings = [row.die_cost_saving for row in rows]
+        assert savings == sorted(savings)
+
+    def test_packaging_share_bands(self):
+        """The paper's annotations: MCM packaging 24-30%, SoC 5-6%.
+        Our substituted packaging parameters land within +/-6 points."""
+        for row in compare_amd():
+            assert 0.18 <= row.mcm_packaging_share <= 0.40
+            assert 0.03 <= row.mono_packaging_share <= 0.14
+
+    def test_mcm_packaging_share_decreases_with_size(self):
+        rows = compare_amd()
+        shares = [row.mcm_packaging_share for row in rows]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_chiplet_wins_everywhere(self):
+        for row in compare_amd():
+            assert row.mcm_re < row.mono_re

@@ -1,0 +1,105 @@
+"""Wafer geometry: dies per wafer, utilization, reticle checks."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError, ReticleLimitError
+from repro.wafer.geometry import (
+    RETICLE_LIMIT_MM2,
+    WaferGeometry,
+    dies_per_wafer,
+    fits_reticle,
+    wafer_utilization,
+)
+
+
+class TestDiesPerWafer:
+    def test_hand_value_800mm2(self):
+        # pi*150^2/800 - pi*300/sqrt(1600) = 88.36 - 23.56 -> 64
+        assert dies_per_wafer(800.0) == 64
+
+    def test_hand_value_100mm2(self):
+        expected = math.floor(
+            math.pi * 150.0**2 / 100.0 - math.pi * 300.0 / math.sqrt(200.0)
+        )
+        assert dies_per_wafer(100.0) == expected
+
+    def test_monotone_decreasing_in_area(self):
+        counts = [dies_per_wafer(a) for a in (50, 100, 200, 400, 800)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_bigger_wafer_more_dies(self):
+        assert dies_per_wafer(100.0, diameter=450.0) > dies_per_wafer(
+            100.0, diameter=300.0
+        )
+
+    def test_zero_for_impossible_die(self):
+        assert dies_per_wafer(60000.0) == 0
+
+    def test_edge_exclusion_reduces_count(self):
+        assert dies_per_wafer(100.0, edge_exclusion=5.0) < dies_per_wafer(100.0)
+
+    def test_scribe_reduces_count(self):
+        assert dies_per_wafer(100.0, scribe_width=0.2) < dies_per_wafer(100.0)
+
+    def test_count_never_negative(self):
+        for area in (1.0, 10.0, 858.0, 2000.0, 50000.0):
+            assert dies_per_wafer(area) >= 0
+
+
+class TestUtilization:
+    def test_utilization_in_unit_interval(self):
+        for area in (25, 100, 400, 800):
+            utilization = wafer_utilization(area)
+            assert 0.0 < utilization < 1.0
+
+    def test_small_dies_use_wafer_better(self):
+        assert wafer_utilization(25.0) > wafer_utilization(800.0)
+
+
+class TestWaferGeometry:
+    def test_effective_die_area_with_scribe(self):
+        geometry = WaferGeometry(scribe_width=0.2)
+        side = math.sqrt(100.0)
+        assert geometry.effective_die_area(100.0) == pytest.approx(
+            (side + 0.2) ** 2
+        )
+
+    def test_effective_die_area_no_scribe_is_identity(self):
+        assert WaferGeometry().effective_die_area(123.0) == 123.0
+
+    def test_usable_diameter(self):
+        assert WaferGeometry(300.0, edge_exclusion=3.0).usable_diameter == 294.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WaferGeometry(diameter=0.0)
+        with pytest.raises(InvalidParameterError):
+            WaferGeometry(edge_exclusion=-1.0)
+        with pytest.raises(InvalidParameterError):
+            WaferGeometry(scribe_width=-0.1)
+        with pytest.raises(InvalidParameterError):
+            WaferGeometry(diameter=100.0, edge_exclusion=50.0)
+
+    def test_nonpositive_area_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WaferGeometry().dies_per_wafer(0.0)
+
+
+class TestReticle:
+    def test_limit_constant(self):
+        assert RETICLE_LIMIT_MM2 == pytest.approx(26.0 * 33.0)
+
+    def test_fits_reticle(self):
+        assert fits_reticle(800.0)
+        assert not fits_reticle(900.0)
+
+    def test_check_reticle_returns_verdict(self):
+        geometry = WaferGeometry()
+        assert geometry.check_reticle(800.0) is True
+        assert geometry.check_reticle(900.0) is False
+
+    def test_check_reticle_strict_raises(self):
+        with pytest.raises(ReticleLimitError):
+            WaferGeometry().check_reticle(900.0, strict=True)

@@ -1,0 +1,74 @@
+"""Die harvesting / binning extension."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.wafer.die import DieSpec, die_cost
+from repro.wafer.harvest import (
+    NO_HARVEST,
+    HarvestSpec,
+    harvest_saving,
+    harvested_die_cost,
+)
+
+
+@pytest.fixture
+def big_die():
+    return DieSpec.of(500.0, "5nm")
+
+
+class TestHarvestSpec:
+    def test_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            HarvestSpec(1.5, 0.5)
+        with pytest.raises(InvalidParameterError):
+            HarvestSpec(0.5, -0.1)
+
+    def test_null_detection(self):
+        assert NO_HARVEST.is_null
+        assert HarvestSpec(0.0, 1.0).is_null
+        assert HarvestSpec(1.0, 0.0).is_null
+        assert not HarvestSpec(0.5, 0.5).is_null
+
+
+class TestHarvestedCost:
+    def test_no_harvest_is_baseline(self, big_die):
+        assert harvested_die_cost(big_die, NO_HARVEST).total == pytest.approx(
+            die_cost(big_die).total
+        )
+
+    def test_harvest_reduces_cost(self, big_die):
+        harvested = harvested_die_cost(big_die, HarvestSpec(0.5, 0.6))
+        assert harvested.total < die_cost(big_die).total
+
+    def test_raw_cost_is_floor(self, big_die):
+        """Even total salvage cannot push below the raw wafer share."""
+        harvested = harvested_die_cost(big_die, HarvestSpec(1.0, 1.0))
+        assert harvested.total >= harvested.raw
+
+    def test_saving_monotone_in_fraction(self, big_die):
+        savings = [
+            harvest_saving(big_die, HarvestSpec(fraction, 0.5))
+            for fraction in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert savings == sorted(savings)
+
+    def test_saving_monotone_in_value(self, big_die):
+        savings = [
+            harvest_saving(big_die, HarvestSpec(0.5, value))
+            for value in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert savings == sorted(savings)
+
+    def test_small_die_benefits_less(self):
+        """Little yield loss means little to salvage."""
+        small = DieSpec.of(50.0, "5nm")
+        large = DieSpec.of(700.0, "5nm")
+        harvest = HarvestSpec(0.5, 0.6)
+        assert harvest_saving(small, harvest) < harvest_saving(large, harvest)
+
+    def test_yield_and_dpw_unchanged(self, big_die):
+        base = die_cost(big_die)
+        harvested = harvested_die_cost(big_die, HarvestSpec(0.5, 0.5))
+        assert harvested.die_yield == base.die_yield
+        assert harvested.dies_per_wafer == base.dies_per_wafer

@@ -1,0 +1,68 @@
+"""Serial-flow composite yield (Eq. 2)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.yieldmodel.composite import SerialYield, overall_yield
+
+
+def test_overall_is_product():
+    flow = SerialYield({"wafer": 0.99, "die": 0.72, "packaging": 0.99, "test": 0.995})
+    assert flow.overall == pytest.approx(0.99 * 0.72 * 0.99 * 0.995)
+
+
+def test_empty_flow_is_perfect():
+    assert SerialYield({}).overall == 1.0
+
+
+def test_overall_yield_helper_matches_eq2():
+    assert overall_yield(0.99, 0.72, 0.99, 0.995) == pytest.approx(
+        0.99 * 0.72 * 0.99 * 0.995
+    )
+
+
+def test_overall_yield_defaults_to_one():
+    assert overall_yield() == 1.0
+
+
+def test_with_stage_adds_stage():
+    flow = SerialYield({"die": 0.8}).with_stage("test", 0.9)
+    assert flow.overall == pytest.approx(0.72)
+
+
+def test_with_stage_replaces_stage():
+    flow = SerialYield({"die": 0.8}).with_stage("die", 0.9)
+    assert flow.overall == pytest.approx(0.9)
+
+
+def test_with_stage_does_not_mutate():
+    flow = SerialYield({"die": 0.8})
+    flow.with_stage("test", 0.9)
+    assert "test" not in flow.stages
+
+
+def test_invalid_stage_yield_rejected():
+    with pytest.raises(InvalidParameterError):
+        SerialYield({"die": 0.0})
+    with pytest.raises(InvalidParameterError):
+        SerialYield({"die": 1.1})
+    with pytest.raises(InvalidParameterError):
+        SerialYield({"die": 0.9}).with_stage("x", -0.5)
+
+
+def test_loss_share_partition():
+    flow = SerialYield({"die": 0.7, "packaging": 0.9})
+    assert flow.loss_share("die") == pytest.approx(0.3 / 0.4)
+    assert flow.loss_share("packaging") == pytest.approx(0.1 / 0.4)
+    total = flow.loss_share("die") + flow.loss_share("packaging")
+    assert total == pytest.approx(1.0)
+
+
+def test_loss_share_perfect_flow_is_zero():
+    flow = SerialYield({"die": 1.0, "test": 1.0})
+    assert flow.loss_share("die") == 0.0
+
+
+def test_loss_share_unknown_stage_raises():
+    with pytest.raises(KeyError):
+        SerialYield({"die": 0.9}).loss_share("unknown")
