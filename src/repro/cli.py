@@ -163,24 +163,34 @@ def _cmd_payback(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core.re_cost import compute_re_cost as re_cost
+    from contextlib import nullcontext
+
+    from repro.engine import CostEngine, default_engine
     from repro.reporting.series import FigureData, Series
 
+    if args.workers is not None:
+        # Own the pooled engine so its workers are released on exit.
+        context = CostEngine(workers=args.workers, backend=args.backend)
+    else:
+        context = nullcontext(default_engine())
     node = get_node(args.node)
     areas = list(range(int(args.start), int(args.stop) + 1, int(args.step)))
-    columns: dict[str, list[float]] = {"SoC": []}
-    for area in areas:
-        columns["SoC"].append(re_cost(soc_reference(area, node)).total)
-    for label, factory in (("MCM", mcm), ("InFO", info), ("2.5D", interposer_25d)):
-        columns[label] = [
-            re_cost(
-                partition_monolith(
-                    area, node, args.chiplets, factory(),
-                    d2d_fraction=args.d2d,
-                )
-            ).total
-            for area in areas
-        ]
+    columns: dict[str, list[float]] = {}
+    with context as engine:
+        soc_sweep = engine.sweep(
+            "SoC", areas, lambda area: soc_reference(area, node)
+        )
+        columns["SoC"] = [cost.total for cost in soc_sweep.values()]
+        for label, factory in (("MCM", mcm), ("InFO", info), ("2.5D", interposer_25d)):
+            tech = factory()
+            scheme_sweep = engine.sweep(
+                label,
+                areas,
+                lambda area, tech=tech: partition_monolith(
+                    area, node, args.chiplets, tech, d2d_fraction=args.d2d
+                ),
+            )
+            columns[label] = [cost.total for cost in scheme_sweep.values()]
     figure = FigureData(
         title=f"RE cost vs area @ {node.name}",
         x_label="area_mm2",
@@ -209,7 +219,11 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             d2d_fraction=args.d2d,
         )
     distribution = monte_carlo_cost(
-        system, draws=args.draws, sigma=args.sigma, seed=args.seed
+        system,
+        draws=args.draws,
+        sigma=args.sigma,
+        seed=args.seed,
+        method=args.method,
     )
     table = Table(
         ["statistic", "RE USD/unit"],
@@ -310,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--step", type=float, default=100)
     sweep.add_argument("--csv", action="store_true",
                        help="emit CSV instead of a table")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="evaluate sweep points on a worker pool; the "
+                       "built-in evaluation is usually faster serially, so "
+                       "leave unset unless a sweep is genuinely heavy")
+    sweep.add_argument("--backend", choices=["process", "thread"],
+                       default="process",
+                       help="pool kind for --workers (default: process)")
 
     montecarlo = sub.add_parser(
         "montecarlo", help="cost distribution under defect uncertainty"
@@ -323,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
     montecarlo.add_argument("--draws", type=int, default=500)
     montecarlo.add_argument("--sigma", type=float, default=0.15)
     montecarlo.add_argument("--seed", type=int, default=0)
+    montecarlo.add_argument(
+        "--method",
+        choices=["auto", "fast", "naive"],
+        default="auto",
+        help="closed-form fast path (default) or the object-rebuilding "
+        "oracle (identical samples)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", type=int, choices=[2, 4, 5, 6, 8, 9, 10])

@@ -10,6 +10,7 @@ object across systems is what shares its NRE.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 from repro.d2d.overhead import NO_OVERHEAD, D2DOverhead
@@ -48,9 +49,15 @@ class Chip:
     ) -> "Chip":
         return Chip(name=name, modules=tuple(modules), node=node, d2d=d2d)
 
-    @property
+    @cached_property
     def module_area(self) -> float:
-        """Total module area in mm^2, retargeted to this chip's node."""
+        """Total module area in mm^2, retargeted to this chip's node.
+
+        Cached: modules and node are frozen, so the retargeting sum is
+        computed once per chip instead of on every cost evaluation
+        (``cached_property`` writes through ``__dict__``, which frozen
+        dataclasses allow).
+        """
         return sum(module.area_at(self.node) for module in self.modules)
 
     @property
@@ -58,7 +65,7 @@ class Chip:
         """Area of the D2D interface on this chip, mm^2."""
         return self.d2d.d2d_area(self.module_area)
 
-    @property
+    @cached_property
     def area(self) -> float:
         """Finished die area in mm^2 (modules + D2D)."""
         return self.module_area + self.d2d_area

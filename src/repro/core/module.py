@@ -9,6 +9,7 @@ and module reuse are expressed throughout the library.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidParameterError
@@ -17,6 +18,18 @@ from repro.process.scaling import scale_area
 
 #: Reserved name for the implicit D2D interface module.
 D2D_MODULE_NAME = "__d2d__"
+
+
+@functools.lru_cache(maxsize=4096)
+def _scaled_area(
+    area: float,
+    from_node: ProcessNode,
+    to_node: ProcessNode,
+    scalable_fraction: float,
+) -> float:
+    """Memoized :func:`repro.process.scaling.scale_area` (pure over
+    value-hashable arguments, shared across value-equal modules)."""
+    return scale_area(area, from_node, to_node, scalable_fraction)
 
 
 @dataclass(frozen=True, eq=False)
@@ -52,8 +65,15 @@ class Module:
             )
 
     def area_at(self, node: ProcessNode) -> float:
-        """Area in mm^2 when the module is implemented on ``node``."""
-        return scale_area(self.area, self.node, node, self.scalable_fraction)
+        """Area in mm^2 when the module is implemented on ``node``.
+
+        Memoized (value-keyed, so a perturbed node is a distinct key and
+        can never hit a stale entry); retargeting to the module's own
+        node short-circuits since the scale factor is exactly 1.
+        """
+        if node is self.node:
+            return self.area
+        return _scaled_area(self.area, self.node, node, self.scalable_fraction)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -15,26 +15,51 @@ small).
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.breakdown import ChipREDetail, RECost
 from repro.core.chip import Chip
 from repro.core.system import System
-from repro.wafer.die import DieSpec, die_cost
+from repro.wafer.diecache import cached_die_cost
+from repro.packaging.base import PackagingCost
+from repro.process.node import ProcessNode
+from repro.wafer.die import DieCost, DieSpec
+
+
+def _default_die_cost(node: ProcessNode, area: float) -> DieCost:
+    return cached_die_cost(DieSpec(area=area, node=node))
 
 
 def chip_kgd_cost(chip: Chip) -> float:
     """Cost of one known good die of this chip (USD)."""
-    cost = die_cost(DieSpec(area=chip.area, node=chip.node))
-    return cost.total
+    return _default_die_cost(chip.node, chip.area).total
 
 
-def compute_re_cost(system: System) -> RECost:
-    """RE cost of one unit of ``system``, itemized the paper's way."""
+def compute_re_cost(
+    system: System,
+    die_cost_fn: Callable[[ProcessNode, float], DieCost] | None = None,
+    packaging_cost_fn: Callable[[float], PackagingCost] | None = None,
+) -> RECost:
+    """RE cost of one unit of ``system``, itemized the paper's way.
+
+    Die costs come from the memoized layer (``repro.wafer.diecache``),
+    so a chip priced here and again by a sweep or a sibling system is
+    derived once.  The two hooks exist so the batch engine can supply
+    its hotter caches without duplicating this accumulation:
+
+    Args:
+        system: The system to price.
+        die_cost_fn: Optional ``(node, area) -> DieCost`` override.
+        packaging_cost_fn: Optional ``(kgd_total) -> PackagingCost``
+            override (e.g. a cached affine decomposition).
+    """
+    price_die = die_cost_fn if die_cost_fn is not None else _default_die_cost
     details: list[ChipREDetail] = []
     raw_chips = 0.0
     chip_defects = 0.0
     kgd_total = 0.0
     for chip, count in system.unique_chips():
-        cost = die_cost(DieSpec(area=chip.area, node=chip.node))
+        cost = price_die(chip.node, chip.area)
         details.append(
             ChipREDetail(
                 chip_name=chip.name,
@@ -48,7 +73,9 @@ def compute_re_cost(system: System) -> RECost:
         chip_defects += cost.defect * count
         kgd_total += cost.total * count
 
-    if system.package is not None:
+    if packaging_cost_fn is not None:
+        packaging = packaging_cost_fn(kgd_total)
+    elif system.package is not None:
         packaging = system.package.packaging_cost(system.chip_areas, kgd_total)
     else:
         packaging = system.integration.packaging_cost(system.chip_areas, kgd_total)

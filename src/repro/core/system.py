@@ -10,6 +10,7 @@ reuse); otherwise its package is sized for exactly its chips.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 from repro.core.chip import Chip
@@ -68,7 +69,7 @@ class System:
                     f"{self.package.name!r}"
                 )
 
-    @property
+    @cached_property
     def chip_areas(self) -> tuple[float, ...]:
         return tuple(chip.area for chip in self.chips)
 
@@ -86,14 +87,22 @@ class System:
     def is_multichip(self) -> bool:
         return len(self.chips) > 1
 
-    def unique_chips(self) -> list[tuple[Chip, int]]:
-        """Distinct chip objects with their instance counts."""
+    @cached_property
+    def _unique_chips(self) -> tuple[tuple[Chip, int], ...]:
         counts: dict[int, int] = {}
         order: dict[int, Chip] = {}
         for chip in self.chips:
             counts[id(chip)] = counts.get(id(chip), 0) + 1
             order.setdefault(id(chip), chip)
-        return [(order[key], counts[key]) for key in order]
+        return tuple((order[key], counts[key]) for key in order)
+
+    def unique_chips(self) -> list[tuple[Chip, int]]:
+        """Distinct chip objects with their instance counts.
+
+        The grouping is cached: ``chips`` is frozen, so the id-based
+        bucketing happens once per system rather than per evaluation.
+        """
+        return list(self._unique_chips)
 
     def unique_modules(self) -> list[Module]:
         """Distinct module objects across all chips."""

@@ -8,20 +8,27 @@ For portfolios with reuse, see ``repro.reuse.portfolio``.
 from __future__ import annotations
 
 from repro.core.amortize import amortized_unit_nre
-from repro.core.breakdown import TotalCost
+from repro.core.breakdown import RECost, TotalCost
 from repro.core.nre_cost import compute_system_nre
 from repro.core.re_cost import compute_re_cost
 from repro.core.system import System
 
 
-def compute_total_cost(system: System, quantity: float | None = None) -> TotalCost:
+def compute_total_cost(
+    system: System,
+    quantity: float | None = None,
+    re_cost: RECost | None = None,
+) -> TotalCost:
     """Per-unit total cost of a standalone system.
 
     Args:
         system: The system to price.
         quantity: Production quantity; defaults to ``system.quantity``.
+        re_cost: Precomputed :class:`~repro.core.breakdown.RECost` for
+            this system (the batch engine passes its cached evaluation);
+            computed here when omitted.
     """
     qty = system.quantity if quantity is None else quantity
-    re = compute_re_cost(system)
+    re = re_cost if re_cost is not None else compute_re_cost(system)
     nre = compute_system_nre(system)
     return TotalCost(re=re, amortized_nre=amortized_unit_nre(nre, qty), quantity=qty)

@@ -1,0 +1,54 @@
+"""Batched cost-evaluation engine.
+
+Three layers, documented in PERFORMANCE.md:
+
+* ``repro.engine.diecache`` — memoized die costs keyed on the hashable
+  (area, node incl. defect density, wafer geometry, yield model) tuple
+  (implementation in ``repro.wafer.diecache``, beside the cost it
+  memoizes, so core never imports upward from the engine);
+* ``repro.engine.costengine`` — :class:`CostEngine` batch API
+  (``evaluate_many`` / ``sweep`` / ``grid``) with optional
+  ``concurrent.futures`` pools, which ``repro.explore`` and the CLI
+  route through;
+* ``repro.engine.fastmc`` — closed-form Monte-Carlo evaluation that
+  prices each draw as pure float arithmetic on re-sampled yields.
+
+Attributes resolve lazily (PEP 562) so that low-level modules — e.g.
+``repro.core.re_cost`` importing the die cache — never pull the batch
+layers into their import graph.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "cached_die_cost": "repro.engine.diecache",
+    "clear_die_cost_cache": "repro.engine.diecache",
+    "die_cost_cache_info": "repro.engine.diecache",
+    "no_cache": "repro.engine.diecache",
+    "DIE_COST_CACHE_MAXSIZE": "repro.engine.diecache",
+    "PackagingAffine": "repro.engine.packaging_affine",
+    "linearize_packaging": "repro.engine.packaging_affine",
+    "CostEngine": "repro.engine.costengine",
+    "GridPoint": "repro.engine.costengine",
+    "GridResult": "repro.engine.costengine",
+    "default_engine": "repro.engine.costengine",
+    "MonteCarloPlan": "repro.engine.fastmc",
+    "sample_re_costs": "repro.engine.fastmc",
+    "partition_re_cost": "repro.engine.fastsweep",
+    "soc_re_cost": "repro.engine.fastsweep",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

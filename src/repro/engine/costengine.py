@@ -1,0 +1,486 @@
+"""CostEngine: batched system evaluation with shared caches.
+
+The exploration workloads (partition grids, Pareto studies, CLI sweeps,
+portfolio reports) all reduce to "price many :class:`~repro.core.system.
+System` objects".  The engine gives that loop one home:
+
+* per-system evaluation reuses the memoized die-cost layer
+  (``repro.engine.diecache``) and a per-(package, areas) affine
+  packaging decomposition (``repro.engine.packaging_affine``), so a
+  100-point sweep prices each distinct die and package once;
+* :meth:`CostEngine.evaluate_many` optionally fans evaluations out to a
+  ``concurrent.futures`` thread or process pool;
+* :meth:`CostEngine.sweep` / :meth:`CostEngine.grid` are the batch
+  front-ends that ``repro.explore`` and the CLI route through.
+
+Results are bit-compatible with the naive
+:func:`repro.core.re_cost.compute_re_cost` path — the engine replicates
+its accumulation order exactly — which the parity tests in
+``tests/test_engine.py`` enforce across SoC/MCM/InFO/2.5D/3D systems.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+from repro.core.breakdown import RECost, TotalCost
+from repro.core.re_cost import compute_re_cost
+from repro.core.system import System
+from repro.core.total import compute_total_cost
+from repro.wafer.diecache import cached_die_cost
+from repro.engine.packaging_affine import PackagingAffine, linearize_packaging
+from repro.errors import InvalidParameterError
+from repro.explore.sweep import Sweep, SweepPoint
+from repro.wafer.die import DieSpec
+
+X = TypeVar("X")
+Y = TypeVar("Y")
+R = TypeVar("R")
+C = TypeVar("C")
+
+#: Affine-decomposition entries kept per engine before a full reset.
+_AFFINE_CACHE_MAXSIZE = 4096
+
+#: Identity-keyed die-cost entries kept per engine before a full reset.
+_DIE_HOT_CACHE_MAXSIZE = 65536
+
+_BACKENDS = ("thread", "process")
+
+
+def _pool_call(payload: tuple[Callable[[System], Any] | None, System]) -> Any:
+    """Worker applied in process pools (module-level: picklable).
+
+    A worker process cannot see the calling engine, so the default
+    evaluation runs on the worker's own process-wide engine (each
+    worker warms its own cache).
+    """
+    evaluator, system = payload
+    if evaluator is None:
+        return default_engine().evaluate_re(system)
+    return evaluator(system)
+
+
+@dataclass(frozen=True)
+class GridPoint(Generic[R, C, Y]):
+    """One cell of a two-parameter grid evaluation."""
+
+    row: R
+    col: C
+    value: Y
+
+
+@dataclass(frozen=True)
+class GridResult(Generic[R, C, Y]):
+    """Row-major results of :meth:`CostEngine.grid`."""
+
+    name: str
+    rows: tuple
+    cols: tuple
+    points: tuple[GridPoint, ...]
+
+    @cached_property
+    def _by_cell(self) -> dict:
+        return {(point.row, point.col): point.value for point in self.points}
+
+    def value(self, row: R, col: C) -> Y:
+        """The evaluation at one (row, col) cell (errors when absent)."""
+        try:
+            return self._by_cell[(row, col)]
+        except (KeyError, TypeError):
+            raise InvalidParameterError(
+                f"grid {self.name!r} has no cell ({row!r}, {col!r})"
+            ) from None
+
+    def row_sweep(self, row: R) -> Sweep:
+        """One grid row as a :class:`~repro.explore.sweep.Sweep`."""
+        points = tuple(
+            SweepPoint(x=point.col, value=point.value)
+            for point in self.points
+            if point.row == row
+        )
+        if not points:
+            raise InvalidParameterError(f"grid {self.name!r} has no row {row!r}")
+        return Sweep(name=f"{self.name}[{row!r}]", points=points)
+
+
+class CostEngine:
+    """Batched cost evaluation with shared memoization.
+
+    Args:
+        workers: Default pool size for batch calls; ``None`` evaluates
+            serially (the right default for this CPU-light model — the
+            knob exists for heavy custom evaluators).
+        backend: ``"thread"`` (shared caches, GIL-bound) or
+            ``"process"`` (true parallelism; systems and evaluators must
+            be picklable and each worker warms its own cache).
+        persistent_pools: Keep one executor alive across batch calls
+            (warm workers for multi-sweep workloads; release with
+            :meth:`close` or ``with``).  When false, each pooled call
+            creates and tears down its own executor — the right setting
+            for the long-lived shared :func:`default_engine`, which no
+            caller owns.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        backend: str = "thread",
+        persistent_pools: bool = True,
+    ):
+        if workers is not None and workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if backend not in _BACKENDS:
+            raise InvalidParameterError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        self.workers = workers
+        self.backend = backend
+        self.persistent_pools = persistent_pools
+        # Identity-keyed hot caches.  Keys use id(...) to avoid hashing
+        # multi-field dataclasses on every lookup; each value keeps a
+        # strong reference to the keyed object, so a key can never be
+        # recycled for a different live object (entries are verified
+        # with an `is` check on hit anyway).
+        self._die_cache: dict[tuple[int, float], tuple] = {}
+        # key -> [packager, PackagingAffine | None, linearized?]
+        self._affine_cache: dict[tuple, list] = {}
+        # backend kind -> (pool size, executor); pools persist across
+        # batch calls so multi-sweep workloads reuse warm workers.
+        self._pools: dict[str, tuple[int, concurrent.futures.Executor]] = {}
+
+    # ------------------------------------------------------------------
+    # single-system evaluation
+    # ------------------------------------------------------------------
+
+    def _die_cost_for(self, node, area: float) -> "object":
+        """Die cost via the identity-keyed hot cache, backed by the
+        shared value-keyed cache of ``repro.engine.diecache``."""
+        key = (id(node), area)
+        entry = self._die_cache.get(key)
+        if entry is not None and entry[0] is node:
+            return entry[1]
+        cost = cached_die_cost(DieSpec(area=area, node=node))
+        if len(self._die_cache) >= _DIE_HOT_CACHE_MAXSIZE:
+            self._die_cache.clear()
+        self._die_cache[key] = (node, cost)
+        return cost
+
+    def _packaging_affine(self, system: System) -> PackagingAffine | None:
+        """Cached affine packaging decomposition for this system's
+        (package-or-integration, chip areas) combination.
+
+        Linearization costs three probe calls, so it only pays off for a
+        key evaluated repeatedly (portfolio re-pricing, repeated design
+        studies).  The first encounter of a key records it and returns
+        ``None`` (the caller prices packaging directly, like the naive
+        path); the second linearizes and caches the affine form.
+        """
+        packager = system.package if system.package is not None else system.integration
+        areas = system.chip_areas
+        key = (id(packager), areas)
+        entry = self._affine_cache.get(key)
+        if entry is None or entry[0] is not packager:
+            if len(self._affine_cache) >= _AFFINE_CACHE_MAXSIZE:
+                self._affine_cache.clear()
+            self._affine_cache[key] = [packager, None, False]
+            return None
+        if not entry[2]:
+            entry[1] = linearize_packaging(
+                lambda kgd: packager.packaging_cost(areas, kgd)
+            )
+            entry[2] = True
+        return entry[1]
+
+    def evaluate_re(self, system: System) -> RECost:
+        """Per-unit RE cost; numerically identical to
+        :func:`repro.core.re_cost.compute_re_cost`.
+
+        Delegates to the single shared accumulation in
+        ``repro.core.re_cost``, supplying the engine's identity-keyed
+        die cache and (once warm) the affine packaging decomposition.
+        """
+        affine = self._packaging_affine(system)
+        return compute_re_cost(
+            system,
+            die_cost_fn=self._die_cost_for,
+            packaging_cost_fn=affine.packaging_cost if affine is not None else None,
+        )
+
+    def evaluate_total(
+        self, system: System, quantity: float | None = None
+    ) -> TotalCost:
+        """Per-unit total (RE + amortized NRE), delegating to
+        :func:`repro.core.total.compute_total_cost` with the engine's
+        cached RE evaluation."""
+        return compute_total_cost(
+            system, quantity=quantity, re_cost=self.evaluate_re(system)
+        )
+
+    # ------------------------------------------------------------------
+    # batch evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_many(
+        self,
+        systems: Sequence[System],
+        evaluator: Callable[[System], Any] | None = None,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> list:
+        """Evaluate every system; ``evaluator`` defaults to
+        :meth:`evaluate_re`.
+
+        Args:
+            systems: Systems to price.
+            evaluator: Optional metric; must be picklable for the
+                process backend.
+            workers: Pool size override (``None``: the engine default).
+            backend: Pool kind override (``None``: the engine default).
+
+        Process-backend caveat: with ``evaluator=None`` each worker
+        process evaluates on its own process-wide default engine — a
+        subclassed ``evaluate_re`` or this engine's warmed caches are
+        *not* shipped across the process boundary (they are with the
+        thread backend).  Pass a picklable evaluator to control what
+        runs in the workers.
+        """
+        pool = self.workers if workers is None else workers
+        kind = self.backend if backend is None else backend
+        if kind not in _BACKENDS:
+            raise InvalidParameterError(
+                f"backend must be one of {_BACKENDS}, got {kind!r}"
+            )
+        if pool is not None and pool < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {pool}")
+
+        if pool is None or pool == 1 or len(systems) <= 1:
+            if evaluator is None:
+                return [self.evaluate_re(system) for system in systems]
+            return [evaluator(system) for system in systems]
+
+        if kind == "thread":
+            # Threads share this process: evaluate on *this* engine so
+            # its hot caches (and any subclass override) stay in play.
+            fn = evaluator if evaluator is not None else self.evaluate_re
+            if self.persistent_pools:
+                return list(self._executor(kind, pool).map(fn, systems))
+            with concurrent.futures.ThreadPoolExecutor(max_workers=pool) as executor:
+                return list(executor.map(fn, systems))
+
+        payloads = [(evaluator, system) for system in systems]
+        chunk = max(1, len(payloads) // (pool * 4))
+        if self.persistent_pools:
+            return list(
+                self._executor(kind, pool).map(_pool_call, payloads, chunksize=chunk)
+            )
+        with concurrent.futures.ProcessPoolExecutor(max_workers=pool) as executor:
+            return list(executor.map(_pool_call, payloads, chunksize=chunk))
+
+    def _executor(self, kind: str, pool: int) -> concurrent.futures.Executor:
+        """The engine's persistent pool for ``kind``, resized on demand.
+
+        Reusing one executor across batch calls keeps worker processes
+        (and their per-process caches) warm across sweeps; pools are
+        released by :meth:`close`, ``with CostEngine(...) as engine:``
+        or interpreter exit.
+        """
+        entry = self._pools.get(kind)
+        if entry is not None and entry[0] == pool:
+            return entry[1]
+        if entry is not None:
+            entry[1].shutdown(wait=False)
+        executor_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if kind == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        executor = executor_cls(max_workers=pool)
+        self._pools[kind] = (pool, executor)
+        return executor
+
+    def close(self) -> None:
+        """Shut down any worker pools this engine created."""
+        for _, executor in self._pools.values():
+            executor.shutdown(wait=True)
+        self._pools.clear()
+
+    def __enter__(self) -> "CostEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def sweep(
+        self,
+        name: str,
+        values: Sequence[X],
+        builder: Callable[[X], System],
+        evaluator: Callable[[System], Y] | None = None,
+        workers: int | None = None,
+    ) -> Sweep:
+        """Batched form of :func:`repro.explore.sweep.run_sweep`."""
+        if not values:
+            raise InvalidParameterError("sweep needs at least one value")
+        systems = [builder(value) for value in values]
+        results = self.evaluate_many(systems, evaluator=evaluator, workers=workers)
+        points = tuple(
+            SweepPoint(x=value, value=result)
+            for value, result in zip(values, results)
+        )
+        return Sweep(name=name, points=points)
+
+    def grid(
+        self,
+        name: str,
+        rows: Sequence[R],
+        cols: Sequence[C],
+        builder: Callable[[R, C], System],
+        evaluator: Callable[[System], Y] | None = None,
+        workers: int | None = None,
+    ) -> GridResult:
+        """Evaluate the full ``rows x cols`` cartesian product."""
+        if not rows or not cols:
+            raise InvalidParameterError("grid needs at least one row and column")
+        cells = [(row, col) for row in rows for col in cols]
+        systems = [builder(row, col) for row, col in cells]
+        results = self.evaluate_many(systems, evaluator=evaluator, workers=workers)
+        points = tuple(
+            GridPoint(row=row, col=col, value=result)
+            for (row, col), result in zip(cells, results)
+        )
+        return GridResult(name=name, rows=tuple(rows), cols=tuple(cols), points=points)
+
+    # ------------------------------------------------------------------
+    # closed-form partition studies
+    # ------------------------------------------------------------------
+
+    def partition_sweep(
+        self,
+        name: str,
+        module_area: float,
+        node,
+        chiplet_counts: Sequence[int],
+        integration,
+        d2d_fraction: "float | object" = 0.10,
+        soc_for_one: bool = True,
+    ) -> Sweep:
+        """RE cost across partition granularities without building
+        systems (``repro.engine.fastsweep``); count 1 prices the
+        monolithic SoC reference unless ``soc_for_one`` is false."""
+        from repro.d2d.overhead import FractionOverhead
+        from repro.engine.fastsweep import partition_re_cost, soc_re_cost
+
+        if not chiplet_counts:
+            raise InvalidParameterError("sweep needs at least one value")
+        if not isinstance(d2d_fraction, FractionOverhead):
+            d2d_fraction = FractionOverhead(d2d_fraction)
+        points = tuple(
+            SweepPoint(
+                x=count,
+                value=(
+                    soc_re_cost(module_area, node, die_cost_fn=self._die_cost_for)
+                    if soc_for_one and count == 1
+                    else partition_re_cost(
+                        module_area,
+                        node,
+                        count,
+                        integration,
+                        d2d_fraction,
+                        die_cost_fn=self._die_cost_for,
+                    )
+                ),
+            )
+            for count in chiplet_counts
+        )
+        return Sweep(name=name, points=points)
+
+    def partition_grid(
+        self,
+        name: str,
+        module_areas: Sequence[float],
+        chiplet_counts: Sequence[int],
+        node,
+        integration,
+        d2d_fraction: "float | object" = 0.10,
+        soc_for_one: bool = False,
+    ) -> GridResult:
+        """Closed-form areas x counts partition grid of RE costs."""
+        from repro.d2d.overhead import FractionOverhead
+        from repro.engine.fastsweep import partition_re_cost, soc_re_cost
+
+        if not module_areas or not chiplet_counts:
+            raise InvalidParameterError("grid needs at least one row and column")
+        if not isinstance(d2d_fraction, FractionOverhead):
+            d2d_fraction = FractionOverhead(d2d_fraction)
+        points = tuple(
+            GridPoint(
+                row=area,
+                col=count,
+                value=(
+                    soc_re_cost(area, node, die_cost_fn=self._die_cost_for)
+                    if soc_for_one and count == 1
+                    else partition_re_cost(
+                        area,
+                        node,
+                        count,
+                        integration,
+                        d2d_fraction,
+                        die_cost_fn=self._die_cost_for,
+                    )
+                ),
+            )
+            for area in module_areas
+            for count in chiplet_counts
+        )
+        return GridResult(
+            name=name,
+            rows=tuple(module_areas),
+            cols=tuple(chiplet_counts),
+            points=points,
+        )
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop the engine-local hot caches and the shared die cache."""
+        from repro.wafer.diecache import clear_die_cost_cache
+
+        self._die_cache.clear()
+        self._affine_cache.clear()
+        clear_die_cost_cache()
+
+    def cache_info(self) -> dict[str, Any]:
+        """Occupancy/hit counters for the engine's caches."""
+        from repro.wafer.diecache import die_cost_cache_info
+
+        info = die_cost_cache_info()
+        return {
+            "die_cost_hits": info.hits,
+            "die_cost_misses": info.misses,
+            "die_cost_currsize": info.currsize,
+            "die_cost_maxsize": info.maxsize,
+            "die_hot_entries": len(self._die_cache),
+            "packaging_affine_entries": len(self._affine_cache),
+        }
+
+
+_default_engine: CostEngine | None = None
+
+
+def default_engine() -> CostEngine:
+    """The process-wide engine used when callers do not supply one.
+
+    Created with ``persistent_pools=False``: nothing owns this engine's
+    lifetime, so a one-off ``run_sweep(..., workers=N)`` must not leave
+    idle workers behind.  Construct your own :class:`CostEngine` (and
+    ``close()`` it) to keep warm pools across batches.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = CostEngine(persistent_pools=False)
+    return _default_engine

@@ -1,0 +1,23 @@
+"""Engine-facing alias of the memoized die-cost layer.
+
+The implementation lives in ``repro.wafer.diecache``, beside the die
+cost it memoizes, so the dependency arrow points one way: ``core`` and
+``wafer`` never import upward from the batch-engine subsystem, while
+``repro.engine`` re-exports the cache as part of its public surface.
+"""
+
+from repro.wafer.diecache import (
+    DIE_COST_CACHE_MAXSIZE,
+    cached_die_cost,
+    clear_die_cost_cache,
+    die_cost_cache_info,
+    no_cache,
+)
+
+__all__ = [
+    "DIE_COST_CACHE_MAXSIZE",
+    "cached_die_cost",
+    "clear_die_cost_cache",
+    "die_cost_cache_info",
+    "no_cache",
+]

@@ -1,0 +1,148 @@
+"""Closed-form Monte-Carlo evaluation of RE cost under defect uncertainty.
+
+The naive Monte-Carlo path (kept as the parity oracle in
+``repro.explore.montecarlo``) rebuilds a fully validated
+``System``/``Chip`` object graph per draw and re-derives every die cost
+from scratch.  Nothing in that work depends on the draw except the die
+yields: a defect-density scale ``s`` leaves die areas, dies-per-wafer
+and packaging geometry untouched and only moves
+
+    y_i(s) = (1 + (D_i * s) * S_i / 100 / c_i) ** (-c_i)
+
+per chip, after which the per-unit RE total is pure float arithmetic:
+
+    total(s) = raw_chips + sum_i raw_i * (1/y_i - 1) * n_i
+               + A + B + k * kgd_total(s)
+
+with ``A``/``B``/``k`` the affine packaging coefficients of
+``repro.engine.packaging_affine``.  :class:`MonteCarloPlan` precomputes
+the per-chip structure once and evaluates each draw in a few dozen
+floating-point operations, replicating the oracle's expression ordering
+bit-for-bit (negative-binomial yield, ``raw / y`` KGD pricing and the
+``RECost.total`` association).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.system import System
+from repro.wafer.diecache import cached_die_cost
+from repro.engine.packaging_affine import PackagingAffine, linearize_packaging
+from repro.errors import InvalidParameterError
+from repro.wafer.die import DieSpec
+from repro.yieldmodel.models import MM2_PER_CM2
+from repro.yieldmodel.sampling import DefectDensityPrior
+
+
+@dataclass(frozen=True)
+class _ChipTerm:
+    """Per-unique-chip constants of the closed form."""
+
+    node_name: str
+    defect_density: float
+    cluster_param: float
+    area: float
+    raw: float
+    count: int
+
+
+@dataclass(frozen=True)
+class MonteCarloPlan:
+    """Precompiled closed-form evaluator for one system.
+
+    ``evaluate`` maps per-node defect-density scales to the per-unit RE
+    total, matching ``compute_re_cost(_perturbed_system(system, scales))
+    .total`` exactly.
+    """
+
+    node_names: tuple[str, ...]
+    terms: tuple[_ChipTerm, ...]
+    affine: PackagingAffine | None
+    system: System
+
+    @classmethod
+    def compile(cls, system: System) -> "MonteCarloPlan":
+        """Precompute the draw-invariant structure of ``system``."""
+        terms = []
+        for chip, count in system.unique_chips():
+            cost = cached_die_cost(DieSpec(area=chip.area, node=chip.node))
+            terms.append(
+                _ChipTerm(
+                    node_name=chip.node.name,
+                    defect_density=chip.node.defect_density,
+                    cluster_param=chip.node.cluster_param,
+                    area=chip.area,
+                    raw=cost.raw,
+                    count=count,
+                )
+            )
+        packager = (
+            system.package if system.package is not None else system.integration
+        )
+        areas = system.chip_areas
+        affine = linearize_packaging(
+            lambda kgd: packager.packaging_cost(areas, kgd)
+        )
+        return cls(
+            node_names=tuple(sorted({chip.node.name for chip in system.chips})),
+            terms=tuple(terms),
+            affine=affine,
+            system=system,
+        )
+
+    def evaluate(self, scales: dict[str, float]) -> float:
+        """Per-unit RE total with each node's defect density scaled."""
+        raw_chips = 0.0
+        chip_defects = 0.0
+        kgd_total = 0.0
+        for term in self.terms:
+            scale = scales.get(term.node_name, 1.0)
+            # Exact replication of NegativeBinomialYield.die_yield on the
+            # perturbed node (D' = D * s), then DieCost's raw/yield split.
+            density = term.defect_density * scale
+            defects = density * term.area / MM2_PER_CM2
+            die_yield = (1.0 + defects / term.cluster_param) ** (
+                -term.cluster_param
+            )
+            total = term.raw / die_yield
+            defect = total - term.raw
+            raw_chips += term.raw * term.count
+            chip_defects += defect * term.count
+            kgd_total += total * term.count
+
+        if self.affine is not None:
+            packaging_total = self.affine.total_with(kgd_total)
+        else:
+            packager = (
+                self.system.package
+                if self.system.package is not None
+                else self.system.integration
+            )
+            cost = packager.packaging_cost(self.system.chip_areas, kgd_total)
+            packaging_total = cost.raw_package + cost.package_defects + cost.wasted_kgd
+        return (raw_chips + chip_defects) + packaging_total
+
+
+def sample_re_costs(
+    system: System,
+    draws: int = 500,
+    sigma: float = 0.15,
+    seed: int = 0,
+) -> list[float]:
+    """Fast-path sampler mirroring the naive Monte-Carlo loop.
+
+    Draw-for-draw identical to the object-rebuilding oracle: the RNG
+    stream, per-node scale assignment and cost arithmetic all match.
+    """
+    if draws <= 0:
+        raise InvalidParameterError(f"draws must be > 0, got {draws}")
+    plan = MonteCarloPlan.compile(system)
+    rng = random.Random(seed)
+    prior = DefectDensityPrior(mode=1.0, sigma=sigma)
+    samples = []
+    for _ in range(draws):
+        scales = {name: prior.sample(rng) for name in plan.node_names}
+        samples.append(plan.evaluate(scales))
+    return samples

@@ -1,0 +1,153 @@
+"""Closed-form partition-sweep evaluation.
+
+A partition study prices hundreds of systems that all share one shape:
+``n`` identical equal-split chiplets (or the monolithic SoC reference)
+on one integration technology.  Building each point the general way —
+``partition_monolith`` constructing ``n`` ``Module``/``Chip`` objects
+plus a validated ``System``, then ``compute_re_cost`` walking the graph
+— spends nearly all its time on object construction that the cost
+arithmetic never looks at.
+
+These evaluators reproduce that pipeline's arithmetic exactly (same
+equal-split areas, same D2D overhead, same accumulation order, same
+chip naming in the itemized details) while touching only floats and the
+shared die-cost cache.  ``tests/test_engine.py`` holds them bit-equal
+to the built-and-evaluated oracle across areas, counts and
+technologies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.breakdown import ChipREDetail, RECost
+from repro.d2d.overhead import FractionOverhead
+from repro.errors import InvalidParameterError
+from repro.explore.partition import partition_label, soc_label
+from repro.packaging.base import IntegrationTech
+from repro.packaging.soc import soc_package
+from repro.process.node import ProcessNode
+from repro.wafer.die import DieCost, DieSpec
+from repro.wafer.diecache import cached_die_cost
+
+#: (node, area) -> DieCost; engines pass their identity-keyed hot cache.
+DieCostFn = Callable[[ProcessNode, float], DieCost]
+
+_SOC_TECH = None
+
+
+def _soc_tech():
+    global _SOC_TECH
+    if _SOC_TECH is None:
+        _SOC_TECH = soc_package()
+    return _SOC_TECH
+
+
+def _shared_die_cost(node: ProcessNode, area: float) -> DieCost:
+    return cached_die_cost(DieSpec(area=area, node=node))
+
+
+def partition_re_cost(
+    module_area: float,
+    node: ProcessNode,
+    n_chiplets: int,
+    integration: IntegrationTech,
+    d2d_fraction: "float | FractionOverhead" = 0.10,
+    name: str | None = None,
+    die_cost_fn: DieCostFn | None = None,
+) -> RECost:
+    """RE cost of an equal ``n_chiplets``-way split, closed form.
+
+    Bit-identical to ``compute_re_cost(partition_monolith(...))`` — the
+    chip area (equal share plus fractional D2D), per-chip accumulation
+    order and packaging call are replicated exactly — without building
+    the ``Module``/``Chip``/``System`` graph.
+    """
+    if n_chiplets < 1:
+        raise InvalidParameterError(f"n_chiplets must be >= 1, got {n_chiplets}")
+    if module_area <= 0:
+        raise InvalidParameterError(f"module_area must be > 0, got {module_area}")
+    if not integration.supports_chip_count(n_chiplets):
+        raise InvalidParameterError(
+            f"{integration.label} cannot hold {n_chiplets} chips"
+        )
+
+    label = name or partition_label(module_area, node, n_chiplets, integration)
+    share = module_area / n_chiplets
+    d2d = (
+        d2d_fraction
+        if isinstance(d2d_fraction, FractionOverhead)
+        else FractionOverhead(d2d_fraction)
+    )
+    area = share + d2d.d2d_area(share)
+    cost = (die_cost_fn or _shared_die_cost)(node, area)
+
+    # Hoisted per-chip constants; the repeated additions replicate the
+    # per-unique-chip accumulation of compute_re_cost bit-for-bit
+    # (count=1 per chiplet, and x * 1 == x exactly).
+    unit_raw = cost.raw
+    unit_defect = cost.defect
+    unit_total = cost.total
+    die_yield = cost.die_yield
+    details = [
+        ChipREDetail(
+            chip_name=f"{label}-chiplet{index}",
+            count=1,
+            unit_raw=unit_raw,
+            unit_defect=unit_defect,
+            die_yield=die_yield,
+        )
+        for index in range(n_chiplets)
+    ]
+    raw_chips = 0.0
+    chip_defects = 0.0
+    kgd_total = 0.0
+    for _ in range(n_chiplets):
+        raw_chips += unit_raw
+        chip_defects += unit_defect
+        kgd_total += unit_total
+
+    packaging = integration.packaging_cost((area,) * n_chiplets, kgd_total)
+    return RECost(
+        raw_chips=raw_chips,
+        chip_defects=chip_defects,
+        raw_package=packaging.raw_package,
+        package_defects=packaging.package_defects,
+        wasted_kgd=packaging.wasted_kgd,
+        chip_details=tuple(details),
+    )
+
+
+def soc_re_cost(
+    module_area: float,
+    node: ProcessNode,
+    name: str | None = None,
+    die_cost_fn: DieCostFn | None = None,
+) -> RECost:
+    """RE cost of the monolithic SoC reference, closed form.
+
+    Bit-identical to ``compute_re_cost(soc_reference(...))``.
+    """
+    if module_area <= 0:
+        raise InvalidParameterError(f"module_area must be > 0, got {module_area}")
+    label = name or soc_label(module_area, node)
+    cost = (die_cost_fn or _shared_die_cost)(node, module_area)
+    detail = ChipREDetail(
+        chip_name=f"{label}-die",
+        count=1,
+        unit_raw=cost.raw,
+        unit_defect=cost.defect,
+        die_yield=cost.die_yield,
+    )
+    raw_chips = 0.0 + cost.raw * 1
+    chip_defects = 0.0 + cost.defect * 1
+    kgd_total = 0.0 + cost.total * 1
+    packaging = _soc_tech().packaging_cost((module_area,), kgd_total)
+    return RECost(
+        raw_chips=raw_chips,
+        chip_defects=chip_defects,
+        raw_package=packaging.raw_package,
+        package_defects=packaging.package_defects,
+        wasted_kgd=packaging.wasted_kgd,
+        chip_details=(detail,),
+    )

@@ -1,0 +1,119 @@
+"""Affine decomposition of packaging cost in the committed-KGD value.
+
+Every assembly flow in the model (direct attach, carrier chip-last,
+carrier chip-first, 3D stacking) prices one assembly attempt as fixed
+spend plus the KGD value multiplied by an expected retry count, so
+
+    packaging_cost(areas, kgd) = PackagingCost(A, B, w0 + kgd * k)
+
+with ``A`` (raw package), ``B`` (package defects), ``w0`` (KGD waste at
+zero KGD value, zero for every built-in flow) and slope ``k`` depending
+only on the chip areas and the technology.  Probing the cost function at
+three KGD values recovers the coefficients and *verifies* the affine
+form, so a future nonlinear technology degrades to the exact path
+instead of silently producing wrong numbers.
+
+Exactness note: every built-in flow computes its KGD waste as one
+multiply (``kgd * retries``, zero intercept), so the fitted
+reconstruction is bit-identical to the probed function.  A hypothetical
+flow affine only to within the probe tolerance (1e-9 relative) — e.g.
+one accumulating its slope across several products — would be accepted
+and reconstructed with last-ulp deviations; callers that price a first
+evaluation directly and later ones through the cached fit
+(``CostEngine``) could then see sub-1e-9 differences between the two.
+That stays inside every tolerance this project promises, and is why the
+probe tolerance is not looser.
+
+Batch workloads exploit this twice: the :class:`~repro.engine.costengine.
+CostEngine` caches one :class:`PackagingAffine` per (package, areas) and
+re-evaluates it per system for the cost of four float operations, and
+the closed-form Monte-Carlo path re-prices packaging per draw without
+touching the packaging object at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.packaging.base import PackagingCost
+
+#: Relative tolerance of the affinity verification probe.
+_AFFINE_RTOL = 1e-9
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _AFFINE_RTOL * max(1.0, abs(a), abs(b))
+
+
+@dataclass(frozen=True)
+class PackagingAffine:
+    """Packaging cost as an affine function of the committed KGD value.
+
+    Attributes:
+        raw_package: The KGD-independent raw package spend, USD.
+        package_defects: The KGD-independent defect spend, USD.
+        wasted_intercept: KGD waste at zero KGD value (zero for every
+            built-in flow; kept for generality).
+        wasted_slope: Expected retries — KGD waste per USD of KGD value.
+    """
+
+    raw_package: float
+    package_defects: float
+    wasted_intercept: float
+    wasted_slope: float
+
+    def wasted_kgd(self, kgd_cost: float) -> float:
+        if self.wasted_intercept == 0.0:
+            # Mirror the assembly-flow arithmetic (kgd * retries) exactly
+            # so the affine path is bit-identical to the probed function.
+            return kgd_cost * self.wasted_slope
+        return self.wasted_intercept + kgd_cost * self.wasted_slope
+
+    def packaging_cost(self, kgd_cost: float) -> PackagingCost:
+        """Reconstruct the full itemization for one KGD value."""
+        return PackagingCost(
+            raw_package=self.raw_package,
+            package_defects=self.package_defects,
+            wasted_kgd=self.wasted_kgd(kgd_cost),
+        )
+
+    @property
+    def fixed_total(self) -> float:
+        """``raw_package + package_defects`` with the exact float
+        association used by :meth:`repro.core.breakdown.RECost.total`."""
+        return self.raw_package + self.package_defects
+
+    def total_with(self, kgd_cost: float) -> float:
+        """Packaging total (raw + defects + wasted) for one KGD value."""
+        return self.fixed_total + self.wasted_kgd(kgd_cost)
+
+
+def linearize_packaging(
+    cost_fn: Callable[[float], PackagingCost],
+) -> PackagingAffine | None:
+    """Probe ``cost_fn`` (kgd -> PackagingCost) and fit the affine form.
+
+    Returns ``None`` when the probes are inconsistent with an affine
+    dependence (unknown future technology); callers must then fall back
+    to invoking the packaging function directly.
+    """
+    p0 = cost_fn(0.0)
+    p1 = cost_fn(1.0)
+    p2 = cost_fn(2.0)
+    slope = p1.wasted_kgd - p0.wasted_kgd
+    affine = (
+        _close(p0.raw_package, p1.raw_package)
+        and _close(p0.raw_package, p2.raw_package)
+        and _close(p0.package_defects, p1.package_defects)
+        and _close(p0.package_defects, p2.package_defects)
+        and _close(p2.wasted_kgd, p0.wasted_kgd + 2.0 * slope)
+    )
+    if not affine:
+        return None
+    return PackagingAffine(
+        raw_package=p0.raw_package,
+        package_defects=p0.package_defects,
+        wasted_intercept=p0.wasted_kgd,
+        wasted_slope=slope,
+    )

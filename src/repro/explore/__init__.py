@@ -1,6 +1,10 @@
 """Architecture exploration and decision procedures (Section 6)."""
 
-from repro.explore.partition import partition_monolith, soc_reference
+from repro.explore.partition import (
+    partition_cost_sweep,
+    partition_monolith,
+    soc_reference,
+)
 from repro.explore.sweep import Sweep, SweepPoint, run_sweep
 from repro.explore.decide import (
     IntegrationChoice,
@@ -11,8 +15,12 @@ from repro.explore.decide import (
     moore_limit_proximity,
 )
 from repro.explore.heterogeneity import CenterNodeComparison, compare_center_nodes
-from repro.explore.sensitivity import SensitivityResult, tornado
-from repro.explore.montecarlo import CostDistribution, monte_carlo_cost
+from repro.explore.sensitivity import SensitivityResult, system_tornado, tornado
+from repro.explore.montecarlo import (
+    CostDistribution,
+    monte_carlo_cost,
+    monte_carlo_cost_naive,
+)
 from repro.explore.pareto import (
     DesignPoint,
     cost_footprint_frontier,
@@ -53,6 +61,7 @@ __all__ = [
     "PartitionAssignment",
     "balance_modules",
     "partition_modules",
+    "partition_cost_sweep",
     "partition_monolith",
     "soc_reference",
     "Sweep",
@@ -67,7 +76,9 @@ __all__ = [
     "CenterNodeComparison",
     "compare_center_nodes",
     "SensitivityResult",
+    "system_tornado",
     "tornado",
     "CostDistribution",
     "monte_carlo_cost",
+    "monte_carlo_cost_naive",
 ]

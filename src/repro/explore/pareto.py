@@ -8,15 +8,16 @@ space the paper's Figure 4/6 spans and extracts the non-dominated set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
-from repro.core.re_cost import compute_re_cost
 from repro.core.system import System
-from repro.core.total import compute_total_cost
 from repro.errors import InvalidParameterError
 from repro.explore.partition import partition_monolith, soc_reference
 from repro.packaging.base import IntegrationTech
 from repro.process.node import ProcessNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.costengine import CostEngine
 
 T = TypeVar("T")
 
@@ -75,14 +76,23 @@ def design_space(
     integrations: Sequence[IntegrationTech],
     chiplet_counts: Sequence[int] = (2, 3, 4, 5),
     d2d_fraction: float = 0.10,
+    engine: "CostEngine | None" = None,
 ) -> list[DesignPoint]:
-    """Evaluate the SoC plus every (integration, count) alternative."""
+    """Evaluate the SoC plus every (integration, count) alternative.
+
+    Evaluation runs on the batch engine (shared die-cost and packaging
+    caches across the whole space); pass ``engine`` to reuse a warmed
+    instance across repeated studies.
+    """
+    from repro.engine.costengine import default_engine
+
     if quantity <= 0:
         raise InvalidParameterError("quantity must be > 0")
+    eng = engine if engine is not None else default_engine()
     points = []
 
     soc_system = soc_reference(module_area, node, quantity=quantity)
-    points.append(_evaluate(soc_system, "SoC", 1))
+    points.append(_evaluate(soc_system, "SoC", 1, eng))
 
     for integration in integrations:
         for count in chiplet_counts:
@@ -94,13 +104,15 @@ def design_space(
                 d2d_fraction=d2d_fraction,
                 quantity=quantity,
             )
-            points.append(_evaluate(system, integration.label, count))
+            points.append(_evaluate(system, integration.label, count, eng))
     return points
 
 
-def _evaluate(system: System, scheme: str, count: int) -> DesignPoint:
-    total = compute_total_cost(system)
-    re = compute_re_cost(system)
+def _evaluate(
+    system: System, scheme: str, count: int, engine: "CostEngine"
+) -> DesignPoint:
+    total = engine.evaluate_total(system)
+    re = total.re
     if system.package is not None:
         footprint = system.package.footprint
     else:

@@ -3,9 +3,13 @@
 ``partition_monolith`` splits a module area into ``n`` equal chiplets,
 each carrying its own D2D interface; no reuse is assumed (every chiplet
 is a distinct design), matching the paper's Figure 4 setting.
+``partition_cost_sweep`` prices a whole range of granularities through
+the batched :class:`~repro.engine.costengine.CostEngine`.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.chip import Chip
 from repro.core.module import Module
@@ -16,6 +20,31 @@ from repro.packaging.base import IntegrationTech
 from repro.packaging.soc import soc_package
 from repro.process.node import ProcessNode
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.costengine import CostEngine
+    from repro.explore.sweep import Sweep
+
+
+def soc_label(module_area: float, node: ProcessNode) -> str:
+    """Default system name of the monolithic SoC reference (shared with
+    the closed-form evaluator in ``repro.engine.fastsweep``, whose
+    bit-parity contract includes the chip names)."""
+    return f"soc-{module_area:.0f}mm2-{node.name}"
+
+
+def partition_label(
+    module_area: float,
+    node: ProcessNode,
+    n_chiplets: int,
+    integration: IntegrationTech,
+) -> str:
+    """Default system name of an equal ``n_chiplets``-way partition
+    (shared with ``repro.engine.fastsweep`` — see :func:`soc_label`)."""
+    return (
+        f"{integration.name}-{n_chiplets}x{module_area / n_chiplets:.0f}mm2-"
+        f"{node.name}"
+    )
+
 
 def soc_reference(
     module_area: float,
@@ -24,7 +53,7 @@ def soc_reference(
     name: str | None = None,
 ) -> System:
     """Monolithic SoC holding the whole module area on one die."""
-    label = name or f"soc-{module_area:.0f}mm2-{node.name}"
+    label = name or soc_label(module_area, node)
     module = Module(f"{label}-module", module_area, node)
     die = Chip.of(f"{label}-die", (module,), node)
     return System(
@@ -58,10 +87,7 @@ def partition_monolith(
     if module_area <= 0:
         raise InvalidParameterError(f"module_area must be > 0, got {module_area}")
 
-    label = name or (
-        f"{integration.name}-{n_chiplets}x{module_area / n_chiplets:.0f}mm2-"
-        f"{node.name}"
-    )
+    label = name or partition_label(module_area, node, n_chiplets, integration)
     share = module_area / n_chiplets
     d2d = FractionOverhead(d2d_fraction)
     chips = tuple(
@@ -75,4 +101,34 @@ def partition_monolith(
     )
     return System(
         name=label, chips=chips, integration=integration, quantity=quantity
+    )
+
+
+def partition_cost_sweep(
+    module_area: float,
+    node: ProcessNode,
+    chiplet_counts: Sequence[int],
+    integration: IntegrationTech,
+    d2d_fraction: float = 0.10,
+    engine: "CostEngine | None" = None,
+) -> "Sweep":
+    """RE cost across partition granularities, via the batch engine.
+
+    Returns a :class:`~repro.explore.sweep.Sweep` whose x-axis is the
+    chiplet count (1 = the monolithic SoC reference) and whose values
+    are :class:`~repro.core.breakdown.RECost` itemizations.  Evaluation
+    uses the engine's closed-form partition path — no per-point
+    ``System`` construction — which is bit-identical to building and
+    pricing each point (``tests/test_engine.py``).
+    """
+    from repro.engine.costengine import default_engine
+
+    eng = engine if engine is not None else default_engine()
+    return eng.partition_sweep(
+        f"partition-{integration.name}-{module_area:.0f}mm2-{node.name}",
+        module_area,
+        node,
+        list(chiplet_counts),
+        integration,
+        d2d_fraction=d2d_fraction,
     )

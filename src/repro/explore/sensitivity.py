@@ -9,9 +9,13 @@ actually hinge on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import System
+    from repro.engine.costengine import CostEngine
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,48 @@ def tornado(
         base = evaluate(parameter, 1.0)
         low = evaluate(parameter, 1.0 - step)
         high = evaluate(parameter, 1.0 + step)
+        results.append(
+            SensitivityResult(
+                parameter=parameter, base=base, low=low, high=high, step=step
+            )
+        )
+    return sorted(results, key=lambda result: result.swing, reverse=True)
+
+
+def system_tornado(
+    parameters: Sequence[str],
+    builder: Callable[[str, float], "System"],
+    step: float = 0.2,
+    engine: "CostEngine | None" = None,
+    workers: int | None = None,
+) -> list[SensitivityResult]:
+    """Tornado study over systems, evaluated on the batch engine.
+
+    Like :func:`tornado`, but the callback builds the perturbed
+    :class:`~repro.core.system.System` instead of computing the cost
+    itself; all ``3 * len(parameters)`` evaluations run as one
+    ``evaluate_many`` batch (shared caches, optional worker pool) with
+    the per-unit RE total as the metric.
+    """
+    from repro.engine.costengine import default_engine
+
+    if not parameters:
+        raise InvalidParameterError("need at least one parameter")
+    if not 0.0 < step < 1.0:
+        raise InvalidParameterError(f"step must be in (0, 1), got {step}")
+    eng = engine if engine is not None else default_engine()
+    scales = (1.0, 1.0 - step, 1.0 + step)
+    systems = [
+        builder(parameter, scale) for parameter in parameters for scale in scales
+    ]
+    costs = eng.evaluate_many(systems, workers=workers)
+    results = []
+    for index, parameter in enumerate(parameters):
+        base, low, high = (
+            costs[3 * index].total,
+            costs[3 * index + 1].total,
+            costs[3 * index + 2].total,
+        )
         results.append(
             SensitivityResult(
                 parameter=parameter, base=base, low=low, high=high, step=step

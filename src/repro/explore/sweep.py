@@ -3,15 +3,22 @@
 A sweep maps a sequence of parameter values through a builder (value ->
 system) and an evaluator (system -> cost), collecting
 :class:`SweepPoint` rows that the reporting layer can print or export.
+
+Execution routes through :class:`repro.engine.costengine.CostEngine`,
+which memoizes die costs and packaging decompositions across points and
+can fan evaluations out to a worker pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Generic, Sequence, TypeVar
 
 from repro.core.system import System
 from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.costengine import CostEngine
 
 X = TypeVar("X")
 Y = TypeVar("Y")
@@ -57,11 +64,21 @@ def run_sweep(
     values: Sequence[X],
     builder: Callable[[X], System],
     evaluator: Callable[[System], Y],
+    engine: "CostEngine | None" = None,
+    workers: int | None = None,
 ) -> Sweep[X, Y]:
-    """Evaluate ``builder(value)`` with ``evaluator`` for every value."""
-    if not values:
-        raise InvalidParameterError("sweep needs at least one value")
-    points = tuple(
-        SweepPoint(x=value, value=evaluator(builder(value))) for value in values
-    )
-    return Sweep(name=name, points=points)
+    """Evaluate ``builder(value)`` with ``evaluator`` for every value.
+
+    Args:
+        name: Sweep label.
+        values: Parameter values.
+        builder: Maps a value to the system to price.
+        evaluator: Maps a system to the recorded result.
+        engine: :class:`~repro.engine.costengine.CostEngine` to run on;
+            defaults to the process-wide shared engine.
+        workers: Optional pool size for parallel evaluation.
+    """
+    from repro.engine.costengine import default_engine
+
+    eng = engine if engine is not None else default_engine()
+    return eng.sweep(name, values, builder, evaluator=evaluator, workers=workers)

@@ -8,6 +8,12 @@ from repro.wafer.geometry import (
     fits_reticle,
 )
 from repro.wafer.die import DieCost, DieSpec, die_cost
+from repro.wafer.diecache import (
+    cached_die_cost,
+    clear_die_cost_cache,
+    die_cost_cache_info,
+    no_cache,
+)
 from repro.wafer.harvest import (
     NO_HARVEST,
     HarvestSpec,
@@ -28,4 +34,8 @@ __all__ = [
     "DieCost",
     "DieSpec",
     "die_cost",
+    "cached_die_cost",
+    "clear_die_cost_cache",
+    "die_cost_cache_info",
+    "no_cache",
 ]

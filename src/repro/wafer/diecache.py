@@ -1,0 +1,78 @@
+"""Memoized die-cost layer.
+
+:func:`repro.wafer.die.die_cost` is the single hottest call in every
+exploration workload: a partition sweep prices the same (area, node)
+die at every point, a Monte-Carlo study prices thousands of perturbed
+variants, and portfolio studies price the same chiplet once per system.
+The function is pure — its result is fully determined by the
+:class:`~repro.wafer.die.DieSpec` (area, node identity including defect
+density, wafer geometry) and the optional yield-model override, and
+both are hashable frozen dataclasses — so it memoizes exactly.
+
+Cache correctness relies on value-equality of the key: a node derived
+via ``node.with_defect_density(...)`` differs in ``defect_density`` and
+therefore *never* hits the entry of the unperturbed node (covered by
+``tests/test_engine.py``).
+
+``no_cache()`` temporarily bypasses the cache; benchmarks use it to
+time the naive path against the memoized one.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.wafer.die import DieCost, DieSpec, die_cost
+from repro.yieldmodel.models import YieldModel
+
+#: Upper bound on distinct (spec, model) entries kept alive.  Sized for
+#: large grid sweeps (thousands of distinct dies) while keeping worst-case
+#: memory in the tens of MB; Monte-Carlo churn (one perturbed node per
+#: draw) evicts oldest entries first and cannot poison sweep hits.
+DIE_COST_CACHE_MAXSIZE = 65536
+
+_bypass_depth = 0
+
+
+@functools.lru_cache(maxsize=DIE_COST_CACHE_MAXSIZE)
+def _cached_die_cost(spec: DieSpec, yield_model: YieldModel | None) -> DieCost:
+    return die_cost(spec, yield_model)
+
+
+def cached_die_cost(
+    spec: DieSpec, yield_model: YieldModel | None = None
+) -> DieCost:
+    """Memoized :func:`repro.wafer.die.die_cost`.
+
+    Falls back to the uncached call inside a :func:`no_cache` block or
+    when ``yield_model`` is an unhashable custom model.
+    """
+    if _bypass_depth:
+        return die_cost(spec, yield_model)
+    try:
+        return _cached_die_cost(spec, yield_model)
+    except TypeError:
+        return die_cost(spec, yield_model)
+
+
+@contextmanager
+def no_cache() -> Iterator[None]:
+    """Context manager bypassing the die-cost cache (naive-path timing)."""
+    global _bypass_depth
+    _bypass_depth += 1
+    try:
+        yield
+    finally:
+        _bypass_depth -= 1
+
+
+def die_cost_cache_info():
+    """``functools``-style (hits, misses, maxsize, currsize) counters."""
+    return _cached_die_cost.cache_info()
+
+
+def clear_die_cost_cache() -> None:
+    """Drop every memoized die cost (used by tests and benchmarks)."""
+    _cached_die_cost.cache_clear()

@@ -16,6 +16,7 @@ and converts internally (1 cm^2 = 100 mm^2).
 
 from __future__ import annotations
 
+import functools
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -174,8 +175,15 @@ class GrossYield(YieldModel):
         return self.gross_factor * self.base.die_yield(area)
 
 
+@functools.lru_cache(maxsize=4096)
 def yield_model_for_node(node: ProcessNode) -> NegativeBinomialYield:
-    """The paper's yield model configured from a catalog node."""
+    """The paper's yield model configured from a catalog node.
+
+    Memoized on the (hashable, value-compared) node so hot paths — die
+    costing, sweeps, Monte-Carlo draws — do not rebuild the model per
+    call; a node perturbed via ``with_defect_density`` hashes to a new
+    key and gets a fresh model.
+    """
     return NegativeBinomialYield(
         defect_density=node.defect_density,
         cluster_param=node.cluster_param,
