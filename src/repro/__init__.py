@@ -115,6 +115,20 @@ from repro.engine import (
     cached_die_cost,
     default_engine,
 )
+from repro.registry import (
+    node_registry,
+    register_d2d,
+    register_node,
+    register_technology,
+    technology_registry,
+)
+from repro.scenario import (
+    ScenarioRunner,
+    ScenarioSpec,
+    load_scenario,
+    run_scenario,
+    save_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -204,4 +218,16 @@ __all__ = [
     "CostEngine",
     "cached_die_cost",
     "default_engine",
+    # registries
+    "node_registry",
+    "technology_registry",
+    "register_node",
+    "register_technology",
+    "register_d2d",
+    # scenarios
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "run_scenario",
+    "load_scenario",
+    "save_scenario",
 ]

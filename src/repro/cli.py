@@ -2,13 +2,15 @@
 
 Subcommands::
 
-    nodes                     list the process-node catalog
+    nodes                     list the process-node registry
+    techs                     list integration technologies and D2D PHYs
     cost                      price one system (SoC or partitioned)
     compare                   rank integration schemes for a design point
     payback                   multi-chip payback quantity
     sweep                     RE cost vs area for every scheme (CSV-able)
     montecarlo                cost distribution under defect uncertainty
     figure {2,4,5,6,8,9,10}   regenerate a paper figure
+    run FILE                  execute a declarative scenario JSON
     portfolio FILE            report an externally-defined portfolio
 """
 
@@ -21,33 +23,22 @@ from typing import Sequence
 from repro.core.re_cost import compute_re_cost
 from repro.core.total import compute_total_cost
 from repro.errors import ChipletActuaryError
-from repro.experiments import (
-    run_fig2,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig8,
-    run_fig9,
-    run_fig10,
-)
-from repro.experiments.printers import (
-    render_fig2,
-    render_fig4_panel,
-    render_fig5,
-    render_fig6,
-    render_fig8,
-    render_fig9,
-    render_fig10,
+from repro.experiments.common import (
+    MULTICHIP_TECH_NAMES,
+    multichip_integrations,
 )
 from repro.explore.decide import choose_integration, multichip_payback_quantity
 from repro.explore.partition import partition_monolith, soc_reference
-from repro.packaging.info import info
-from repro.packaging.interposer import interposer_25d
-from repro.packaging.mcm import mcm
-from repro.process.catalog import NODES, get_node
+from repro.process.catalog import get_node
+from repro.registry.d2d import d2d_registry
+from repro.registry.nodes import node_registry
+from repro.registry.technologies import technology_registry
 from repro.reporting.table import Table
 
-_INTEGRATIONS = {"mcm": mcm, "info": info, "2.5d": interposer_25d}
+
+def _integration(name: str):
+    """Fresh instance of a registered integration technology."""
+    return technology_registry().create(name)
 
 
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
@@ -64,13 +55,19 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_nodes(_args: argparse.Namespace) -> int:
+    from repro.process.catalog import NODES
+
     table = Table(
         ["node", "D0 (/cm^2)", "c", "wafer ($)", "density (MTr/mm^2)",
          "mask set ($M)", "kind"],
         title="Process-node catalog",
         precision=2,
     )
-    for node in NODES.values():
+    registry = node_registry()
+    entries = list(NODES.values()) + [
+        registry.get(name) for name in registry.names() if name not in NODES
+    ]
+    for node in entries:
         table.add_row(
             [
                 node.name,
@@ -86,6 +83,31 @@ def _cmd_nodes(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_techs(_args: argparse.Namespace) -> int:
+    techs = Table(
+        ["name", "label", "base", "description"],
+        title="Integration-technology registry",
+    )
+    registry = technology_registry()
+    for name, entry in registry.items():
+        techs.add_row(
+            [name, entry.label, entry.base or name, entry.description]
+        )
+    print(techs.render())
+    print()
+    phys = Table(
+        ["name", "carrier", "GB/s per mm^2", "pJ/bit", "reach (mm)"],
+        title="D2D interface registry",
+    )
+    for name, profile in d2d_registry().items():
+        phys.add_row(
+            [name, profile.carrier, profile.bandwidth_density,
+             profile.energy_pj_per_bit, profile.reach_mm]
+        )
+    print(phys.render())
+    return 0
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     node = get_node(args.node)
     if args.integration == "soc":
@@ -95,7 +117,7 @@ def _cmd_cost(args: argparse.Namespace) -> int:
             args.area,
             node,
             args.chiplets,
-            _INTEGRATIONS[args.integration](),
+            _integration(args.integration),
             d2d_fraction=args.d2d,
             quantity=args.quantity,
         )
@@ -119,7 +141,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         node,
         args.chiplets,
         args.quantity,
-        [factory() for factory in _INTEGRATIONS.values()],
+        list(multichip_integrations().values()),
         d2d_fraction=args.d2d,
     )
     table = Table(
@@ -145,7 +167,7 @@ def _cmd_payback(args: argparse.Namespace) -> int:
         args.area,
         node,
         args.chiplets,
-        _INTEGRATIONS[args.integration](),
+        _integration(args.integration),
         d2d_fraction=args.d2d,
     )
     quantity = multichip_payback_quantity(soc_system, multi)
@@ -181,8 +203,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "SoC", areas, lambda area: soc_reference(area, node)
         )
         columns["SoC"] = [cost.total for cost in soc_sweep.values()]
-        for label, factory in (("MCM", mcm), ("InFO", info), ("2.5D", interposer_25d)):
-            tech = factory()
+        for label, tech in multichip_integrations().items():
             scheme_sweep = engine.sweep(
                 label,
                 areas,
@@ -215,7 +236,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         system = soc_reference(args.area, node)
     else:
         system = partition_monolith(
-            args.area, node, args.chiplets, _INTEGRATIONS[args.integration](),
+            args.area, node, args.chiplets, _integration(args.integration),
             d2d_fraction=args.d2d,
         )
     distribution = monte_carlo_cost(
@@ -241,25 +262,43 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    figure = args.id
-    if figure == 2:
-        print(render_fig2(run_fig2()))
-    elif figure == 4:
-        for panel in run_fig4():
-            print(render_fig4_panel(panel))
-            print()
-    elif figure == 5:
-        print(render_fig5(run_fig5()))
-    elif figure == 6:
-        print(render_fig6(run_fig6()))
-    elif figure == 8:
-        print(render_fig8(run_fig8()))
-    elif figure == 9:
-        print(render_fig9(run_fig9()))
-    elif figure == 10:
-        print(render_fig10(run_fig10()))
-    else:  # pragma: no cover - argparse choices guard this
-        raise ChipletActuaryError(f"unknown figure {figure}")
+    from repro.scenario import FigureStudy, ScenarioRunner, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name=f"figure-{args.id}", studies=(FigureStudy(figure=args.id),)
+    )
+    result = ScenarioRunner().run(spec)
+    print(result.results[0].text)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioRunner, ScenarioSpec, load_scenario
+
+    spec = load_scenario(args.file)
+    if args.study:
+        studies = tuple(s for s in spec.studies if s.name in args.study)
+        missing = set(args.study) - {s.name for s in studies}
+        if missing:
+            raise ChipletActuaryError(
+                f"scenario {spec.name!r} has no studies {sorted(missing)} "
+                f"(available: {[s.name for s in spec.studies]})"
+            )
+        spec = ScenarioSpec(
+            name=spec.name,
+            description=spec.description,
+            nodes=spec.nodes,
+            technologies=spec.technologies,
+            d2d_interfaces=spec.d2d_interfaces,
+            studies=studies,
+        )
+    result = ScenarioRunner().run(spec)
+    header = f"Scenario: {spec.name}"
+    if spec.description:
+        header += f" — {spec.description}"
+    print(header)
+    print()
+    print(result.render())
     return 0
 
 
@@ -292,13 +331,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("nodes", help="list the process-node catalog")
+    sub.add_parser("nodes", help="list the process-node registry")
+
+    sub.add_parser(
+        "techs", help="list integration technologies and D2D interfaces"
+    )
 
     cost = sub.add_parser("cost", help="price one system")
     _add_design_arguments(cost)
     cost.add_argument(
         "--integration",
-        choices=["soc", "mcm", "info", "2.5d"],
+        choices=["soc", *MULTICHIP_TECH_NAMES],
         default="soc",
         help="integration scheme (default: soc)",
     )
@@ -310,7 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_arguments(payback)
     payback.add_argument(
         "--integration",
-        choices=["mcm", "info", "2.5d"],
+        choices=list(MULTICHIP_TECH_NAMES),
         default="mcm",
         help="multi-chip scheme (default: mcm)",
     )
@@ -338,7 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_arguments(montecarlo)
     montecarlo.add_argument(
         "--integration",
-        choices=["soc", "mcm", "info", "2.5d"],
+        choices=["soc", *MULTICHIP_TECH_NAMES],
         default="soc",
     )
     montecarlo.add_argument("--draws", type=int, default=500)
@@ -355,6 +398,16 @@ def build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", type=int, choices=[2, 4, 5, 6, 8, 9, 10])
 
+    run = sub.add_parser("run", help="execute a declarative scenario JSON")
+    run.add_argument("file", help="path to a scenario JSON document")
+    run.add_argument(
+        "--study",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named study (repeatable; default: all)",
+    )
+
     portfolio = sub.add_parser("portfolio", help="report a portfolio JSON")
     portfolio.add_argument("file", help="path to a portfolio JSON document")
 
@@ -363,12 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "nodes": _cmd_nodes,
+    "techs": _cmd_techs,
     "cost": _cmd_cost,
     "compare": _cmd_compare,
     "payback": _cmd_payback,
     "sweep": _cmd_sweep,
     "montecarlo": _cmd_montecarlo,
     "figure": _cmd_figure,
+    "run": _cmd_run,
     "portfolio": _cmd_portfolio,
 }
 

@@ -20,12 +20,29 @@ the per-chip structure once and evaluates each draw in a few dozen
 floating-point operations, replicating the oracle's expression ordering
 bit-for-bit (negative-binomial yield, ``raw / y`` KGD pricing and the
 ``RECost.total`` association).
+
+When numpy is available, :func:`sample_re_costs` evaluates all draws at
+once (:meth:`MonteCarloPlan.evaluate_batch`): the exact IEEE-754
+operations (multiply, divide, add) vectorize over the draw axis in the
+same per-term order as the scalar loop, while the two transcendentals —
+the prior's ``exp`` and the yield's ``pow`` — stay on the same libm
+calls the oracle makes (numpy's SIMD ``exp``/``power`` differ from libm
+in the last ulp, which would break the bit-parity contract).  Without
+numpy the per-draw scalar loop is used; both paths are draw-for-draw
+bit-identical to the oracle (``tests/test_engine.py``,
+``tests/test_fastmc_vectorized.py``).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Sequence
+
+try:  # numpy accelerates the draw loop; the model never requires it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _sample_loop tests
+    _np = None
 
 from repro.core.system import System
 from repro.wafer.diecache import cached_die_cost
@@ -124,6 +141,68 @@ class MonteCarloPlan:
             packaging_total = cost.raw_package + cost.package_defects + cost.wasted_kgd
         return (raw_chips + chip_defects) + packaging_total
 
+    def evaluate_batch(self, scale_rows: Sequence[Sequence[float]]) -> list[float]:
+        """Vectorized :meth:`evaluate` over many draws (needs numpy).
+
+        ``scale_rows[d]`` holds draw ``d``'s per-node scales in
+        :attr:`node_names` order.  Each draw's result is bit-identical
+        to ``evaluate({name: scale, ...})``: the exact IEEE operations
+        vectorize over the draw axis in the same per-term order, and
+        the yield's ``pow`` runs through Python's libm binding exactly
+        like the scalar path (numpy's SIMD ``power`` can differ in the
+        last ulp).
+        """
+        if _np is None:
+            raise InvalidParameterError(
+                "MonteCarloPlan.evaluate_batch needs numpy; "
+                "use evaluate() per draw instead"
+            )
+        if self.affine is None:
+            raise InvalidParameterError(
+                "evaluate_batch needs an affine packaging decomposition; "
+                "use evaluate() per draw for non-affine technologies"
+            )
+        index = {name: i for i, name in enumerate(self.node_names)}
+        scales = _np.asarray(scale_rows, dtype=_np.float64).reshape(
+            -1, len(self.node_names) or 1
+        )
+        draws = scales.shape[0]
+        raw_chips = 0.0
+        chip_defects = _np.zeros(draws)
+        kgd_total = _np.zeros(draws)
+        # Equal-split partitions repeat one (node, area) shape across
+        # terms; the yield vector is value-keyed so its pow runs once.
+        yield_cache: dict[tuple, "_np.ndarray"] = {}
+        for term in self.terms:
+            key = (
+                term.node_name,
+                term.defect_density,
+                term.cluster_param,
+                term.area,
+            )
+            die_yield = yield_cache.get(key)
+            if die_yield is None:
+                scale = scales[:, index[term.node_name]]
+                density = term.defect_density * scale
+                defects = density * term.area / MM2_PER_CM2
+                base = 1.0 + defects / term.cluster_param
+                exponent = -term.cluster_param
+                # libm pow per element: bit-identical to the scalar `**`.
+                die_yield = _np.array(
+                    [value ** exponent for value in base.tolist()]
+                )
+                yield_cache[key] = die_yield
+            total = term.raw / die_yield
+            defect = total - term.raw
+            raw_chips += term.raw * term.count
+            chip_defects = chip_defects + defect * term.count
+            kgd_total = kgd_total + total * term.count
+        wasted = kgd_total * self.affine.wasted_slope
+        if self.affine.wasted_intercept != 0.0:
+            wasted = self.affine.wasted_intercept + wasted
+        packaging_total = self.affine.fixed_total + wasted
+        return ((raw_chips + chip_defects) + packaging_total).tolist()
+
 
 def sample_re_costs(
     system: System,
@@ -135,12 +214,39 @@ def sample_re_costs(
 
     Draw-for-draw identical to the object-rebuilding oracle: the RNG
     stream, per-node scale assignment and cost arithmetic all match.
+    Uses the numpy-vectorized batch evaluator when numpy is installed
+    and the system's packaging is affine; falls back to the scalar
+    per-draw loop otherwise.
     """
     if draws <= 0:
         raise InvalidParameterError(f"draws must be > 0, got {draws}")
     plan = MonteCarloPlan.compile(system)
     rng = random.Random(seed)
     prior = DefectDensityPrior(mode=1.0, sigma=sigma)
+    if _np is None or plan.affine is None:
+        return _sample_loop(plan, rng, prior, draws)
+    # The prior draws stay on the oracle's RNG stream and libm exp
+    # (draw-major, node_names order — exactly the scalar dict fill).
+    count = draws * len(plan.node_names)
+    if prior.lower is None and prior.upper is None:
+        # Inline DefectDensityPrior.sample's unbounded arithmetic; the
+        # expression matches it operation-for-operation.
+        import math
+
+        gauss, exp, mode, sigma_ = rng.gauss, math.exp, prior.mode, prior.sigma
+        flat = [mode * exp(sigma_ * gauss(0.0, 1.0)) for _ in range(count)]
+    else:  # pragma: no cover - sample_re_costs builds an unbounded prior
+        flat = [prior.sample(rng) for _ in range(count)]
+    return plan.evaluate_batch(_np.array(flat, dtype=_np.float64))
+
+
+def _sample_loop(
+    plan: MonteCarloPlan,
+    rng: random.Random,
+    prior: DefectDensityPrior,
+    draws: int,
+) -> list[float]:
+    """Scalar per-draw sampler (numpy-free fallback and parity oracle)."""
     samples = []
     for _ in range(draws):
         scales = {name: prior.sample(rng) for name in plan.node_names}

@@ -20,6 +20,9 @@ class UnknownNodeError(ChipletActuaryError, KeyError):
         hint = f" (available: {', '.join(self.available)})" if self.available else ""
         super().__init__(f"unknown process node {name!r}{hint}")
 
+    def __str__(self) -> str:  # KeyError would quote the message
+        return self.args[0]
+
 
 class InvalidParameterError(ChipletActuaryError, ValueError):
     """Raised when a model parameter is outside its physical domain."""
@@ -42,3 +45,18 @@ class EmptySystemError(ChipletActuaryError, ValueError):
 
 class ConfigError(ChipletActuaryError, ValueError):
     """Raised when a serialized configuration cannot be interpreted."""
+
+
+class RegistryError(ChipletActuaryError, KeyError):
+    """Raised when a registry lookup or registration fails."""
+
+    def __init__(self, message: str, name: str = "", available: list[str] | None = None):
+        self.name = name
+        self.available = available or []
+        hint = (
+            f" (available: {', '.join(self.available)})" if self.available else ""
+        )
+        super().__init__(f"{message}{hint}")
+
+    def __str__(self) -> str:  # KeyError would quote the message
+        return self.args[0]

@@ -8,11 +8,9 @@ from repro.core.re_cost import compute_re_cost
 from repro.core.system import System
 from repro.explore.partition import soc_reference
 from repro.packaging.base import IntegrationTech
-from repro.packaging.info import info
-from repro.packaging.interposer import interposer_25d
-from repro.packaging.mcm import mcm
 from repro.process.catalog import get_node
 from repro.process.node import ProcessNode
+from repro.registry.technologies import technology_registry
 
 #: The paper's experiments assume 10% D2D area overhead (after EPYC).
 PAPER_D2D_FRACTION = 0.10
@@ -20,10 +18,17 @@ PAPER_D2D_FRACTION = 0.10
 #: Scheme order used throughout the paper's figures.
 SCHEME_ORDER = ("SoC", "MCM", "InFO", "2.5D")
 
+#: Registry names of the paper's multi-chip technologies, paper order.
+MULTICHIP_TECH_NAMES = ("mcm", "info", "2.5d")
+
 
 def multichip_integrations() -> dict[str, IntegrationTech]:
     """Fresh instances of the three multi-chip technologies, paper order."""
-    return {"MCM": mcm(), "InFO": info(), "2.5D": interposer_25d()}
+    registry = technology_registry()
+    return {
+        registry.get(name).label: registry.create(name)
+        for name in MULTICHIP_TECH_NAMES
+    }
 
 
 def reference_soc_re(node: ProcessNode | str, area: float = 100.0) -> float:

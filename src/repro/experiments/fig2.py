@@ -50,7 +50,7 @@ def run_fig2(
         node = get_node(name)
         model = yield_model_for_node(node)
         label = (
-            f"{name} (D={node.defect_density:g}, c={node.cluster_param:g})"
+            f"{node.name} (D={node.defect_density:g}, c={node.cluster_param:g})"
         )
         yields = [model.die_yield(area) * 100.0 for area in areas]
         costs = [

@@ -5,6 +5,12 @@ total module area 100-900 mm^2.  Every bar is the five-way RE breakdown
 normalized to the total RE cost of a 100 mm^2 SoC at the same node.
 The workload follows the paper: 10% D2D overhead, no reuse, chip-last
 assembly.
+
+Evaluation routes through :meth:`CostEngine.partition_grid` — one
+closed-form areas x counts grid per (node, technology) instead of
+building and pricing a ``System`` per bar — which is bit-identical to
+the naive path (``tests/test_scenario.py`` holds the refactor to exact
+parity).
 """
 
 from __future__ import annotations
@@ -13,13 +19,12 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.breakdown import RECost
-from repro.core.re_cost import compute_re_cost
+from repro.engine.costengine import default_engine
 from repro.experiments.common import (
     PAPER_D2D_FRACTION,
     multichip_integrations,
     reference_soc_re,
 )
-from repro.explore.partition import partition_monolith, soc_reference
 from repro.process.catalog import get_node
 
 DEFAULT_NODES = ("14nm", "7nm", "5nm")
@@ -68,36 +73,51 @@ def run_fig4(
     areas: Sequence[float] = DEFAULT_AREAS,
     d2d_fraction: float = PAPER_D2D_FRACTION,
 ) -> list[Fig4Panel]:
-    """Regenerate the Figure 4 grid."""
+    """Regenerate the Figure 4 grid (one engine grid per node/scheme)."""
+    engine = default_engine()
+    integrations = multichip_integrations()
     panels = []
-    for node_name in nodes:
-        node = get_node(node_name)
+    for node_ref in nodes:
+        node = get_node(node_ref)
+        node_name = node.name
         reference = reference_soc_re(node)
+        soc_grid = engine.partition_grid(
+            f"fig4-SoC-{node_name}",
+            list(areas),
+            [1],
+            node,
+            next(iter(integrations.values())),  # unused for the SoC column
+            d2d_fraction=d2d_fraction,
+            soc_for_one=True,
+        )
+        scheme_grids = {
+            label: engine.partition_grid(
+                f"fig4-{label}-{node_name}",
+                list(areas),
+                list(chiplet_counts),
+                node,
+                integration,
+                d2d_fraction=d2d_fraction,
+                soc_for_one=False,
+            )
+            for label, integration in integrations.items()
+        }
         for count in chiplet_counts:
             cells: list[Fig4Cell] = []
             for area in areas:
-                soc_re = compute_re_cost(soc_reference(area, node))
                 cells.append(
                     Fig4Cell(
                         area=area,
                         scheme="SoC",
-                        re=soc_re.normalized_to(reference),
+                        re=soc_grid.value(area, 1).normalized_to(reference),
                     )
                 )
-                for label, integration in multichip_integrations().items():
-                    system = partition_monolith(
-                        area,
-                        node,
-                        count,
-                        integration,
-                        d2d_fraction=d2d_fraction,
-                    )
-                    re = compute_re_cost(system)
+                for label, grid in scheme_grids.items():
                     cells.append(
                         Fig4Cell(
                             area=area,
                             scheme=label,
-                            re=re.normalized_to(reference),
+                            re=grid.value(area, count).normalized_to(reference),
                         )
                     )
             panels.append(

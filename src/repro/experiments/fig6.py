@@ -5,6 +5,11 @@ multi-chip design (MCM / InFO / 2.5D), at 14 nm and 5 nm, for production
 quantities 500k / 2M / 10M.  NRE is amortized within each system alone
 (no reuse).  Costs are normalized to the RE cost of the SoC at the same
 node.
+
+The RE part of every bar comes from one closed-form
+:meth:`CostEngine.partition_grid` evaluation per (node, scheme) —
+priced once and shared across the three quantities — instead of
+re-pricing per (system, quantity); bit-identical to the naive path.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Sequence
 
 from repro.core.breakdown import TotalCost
 from repro.core.total import compute_total_cost
+from repro.engine.costengine import default_engine
 from repro.experiments.common import PAPER_D2D_FRACTION, multichip_integrations
 from repro.explore.partition import partition_monolith, soc_reference
 from repro.process.catalog import get_node
@@ -76,13 +82,14 @@ def run_fig6(
     d2d_fraction: float = PAPER_D2D_FRACTION,
 ) -> Fig6Result:
     """Regenerate the Figure 6 bars."""
+    engine = default_engine()
     entries = []
-    for node_name in nodes:
-        node = get_node(node_name)
-        soc_system = soc_reference(module_area, node)
-        reference = compute_total_cost(soc_system, quantities[0]).re_total
-        systems = {"SoC": soc_system}
-        for label, integration in multichip_integrations().items():
+    for node_ref in nodes:
+        node = get_node(node_ref)
+        node_name = node.name
+        integrations = multichip_integrations()
+        systems = {"SoC": soc_reference(module_area, node)}
+        for label, integration in integrations.items():
             systems[label] = partition_monolith(
                 module_area,
                 node,
@@ -90,9 +97,35 @@ def run_fig6(
                 integration,
                 d2d_fraction=d2d_fraction,
             )
+        # One closed-form grid point per scheme; the RE cost is shared
+        # across quantities (only the amortized NRE moves).
+        re_costs = {
+            "SoC": engine.partition_grid(
+                f"fig6-SoC-{node_name}",
+                [module_area],
+                [1],
+                node,
+                next(iter(integrations.values())),  # unused for SoC
+                d2d_fraction=d2d_fraction,
+                soc_for_one=True,
+            ).value(module_area, 1)
+        }
+        for label, integration in integrations.items():
+            re_costs[label] = engine.partition_grid(
+                f"fig6-{label}-{node_name}",
+                [module_area],
+                [n_chiplets],
+                node,
+                integration,
+                d2d_fraction=d2d_fraction,
+                soc_for_one=False,
+            ).value(module_area, n_chiplets)
+        reference = re_costs["SoC"].total
         for quantity in quantities:
             for label, system in systems.items():
-                cost = compute_total_cost(system, quantity)
+                cost = compute_total_cost(
+                    system, quantity, re_cost=re_costs[label]
+                )
                 entries.append(
                     Fig6Entry(
                         node=node_name,

@@ -77,13 +77,24 @@ NODES: dict[str, ProcessNode] = {name: _build_node(name) for name in _YIELD_PARA
 
 
 def get_node(name: str | ProcessNode) -> ProcessNode:
-    """Resolve a node by catalog name (pass-through for node objects)."""
+    """Resolve a node by name (pass-through for node objects).
+
+    Resolution consults the catalog first, then the global node
+    registry (``repro.registry.nodes``), so custom registered nodes are
+    usable anywhere a catalog name is.
+    """
     if isinstance(name, ProcessNode):
         return name
     try:
         return NODES[name]
     except KeyError:
-        raise UnknownNodeError(str(name), available=sorted(NODES)) from None
+        pass
+    from repro.registry.nodes import node_registry
+
+    registry = node_registry()
+    if name in registry:
+        return registry.get(name)
+    raise UnknownNodeError(str(name), available=registry.names()) from None
 
 
 def list_nodes() -> list[str]:

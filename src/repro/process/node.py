@@ -52,6 +52,33 @@ class ProcessNode:
     d2d_interface_nre: float = 0.0
     is_packaging_node: bool = False
 
+    def __hash__(self) -> int:
+        # Value-keyed caches (die costs, scaled module areas) hash nodes
+        # on every probe; hashing 12 fields dominated those lookups, so
+        # the field-tuple hash is computed once and memoized.  The tuple
+        # matches the dataclass-generated __eq__ exactly, preserving the
+        # hash/eq contract (frozen fields cannot change after init).
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.name,
+                    self.defect_density,
+                    self.cluster_param,
+                    self.wafer_price,
+                    self.wafer_diameter,
+                    self.transistor_density,
+                    self.km_per_mm2,
+                    self.kc_per_mm2,
+                    self.mask_set_cost,
+                    self.ip_fixed_cost,
+                    self.d2d_interface_nre,
+                    self.is_packaging_node,
+                )
+            )
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
     def __post_init__(self) -> None:
         if self.defect_density < 0:
             raise InvalidParameterError(

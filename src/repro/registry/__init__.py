@@ -1,0 +1,58 @@
+"""Named, user-extensible registries for the model's technologies.
+
+Three registries — process nodes, integration technologies and D2D
+interfaces — unify the previously hard-wired factory call sites behind
+name-based lookup with declarative (JSON-ready) custom entries.  Each
+global registry can spawn scoped child layers, which is how scenario
+and config documents introduce per-document technologies without
+mutating process-wide state.
+"""
+
+from repro.registry.core import Registry, singleton
+from repro.registry.d2d import (
+    D2DRegistry,
+    d2d_from_spec,
+    d2d_registry,
+    d2d_to_spec,
+    register_d2d,
+)
+from repro.registry.nodes import (
+    NODE_FIELDS,
+    NodeRegistry,
+    node_from_spec,
+    node_registry,
+    node_to_spec,
+    register_node,
+)
+from repro.registry.technologies import (
+    TechnologyEntry,
+    TechnologyRegistry,
+    parse_flow,
+    register_technology,
+    technology_from_spec,
+    technology_registry,
+    technology_to_spec,
+)
+
+__all__ = [
+    "Registry",
+    "singleton",
+    "NodeRegistry",
+    "NODE_FIELDS",
+    "node_from_spec",
+    "node_registry",
+    "node_to_spec",
+    "register_node",
+    "TechnologyEntry",
+    "TechnologyRegistry",
+    "parse_flow",
+    "register_technology",
+    "technology_from_spec",
+    "technology_registry",
+    "technology_to_spec",
+    "D2DRegistry",
+    "d2d_from_spec",
+    "d2d_registry",
+    "d2d_to_spec",
+    "register_d2d",
+]

@@ -1,0 +1,148 @@
+"""Generic named registry with layered scoping.
+
+A :class:`Registry` maps names to entries (nodes, integration
+technologies, D2D profiles, study types, ...).  Registries can be
+*layered*: a child registry resolves names locally first and falls back
+to its parent, which is how scenario documents introduce custom
+technologies without mutating — or even seeing — the process-wide
+catalog.  The global registries in ``repro.registry.nodes`` /
+``technologies`` / ``d2d`` are the root layers; ``ScenarioRunner`` and
+``repro.config`` build per-document children.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, TypeVar
+
+from repro.errors import RegistryError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Named entries with optional parent fallback.
+
+    Args:
+        kind: Human-facing noun for error messages ("process node",
+            "integration technology", ...).
+        parent: Registry consulted when a name is not registered here.
+    """
+
+    def __init__(self, kind: str, parent: "Registry[T] | None" = None):
+        self.kind = kind
+        self.parent = parent
+        self._entries: Dict[str, T] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(self, name: str, entry: T, overwrite: bool = False) -> T:
+        """Register ``entry`` under ``name`` (in this layer).
+
+        Registering a name that exists in this layer raises unless
+        ``overwrite`` is set; shadowing a *parent* entry is always
+        allowed (that is what scoped layers are for).
+        """
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string")
+        if not overwrite and name in self._entries:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove a local entry (parent layers are never touched)."""
+        if name not in self._entries:
+            raise RegistryError(
+                f"{self.kind} {name!r} is not registered in this layer",
+                name=name,
+                available=sorted(self._entries),
+            )
+        del self._entries[name]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> T:
+        """Resolve ``name``, falling back through parent layers."""
+        layer: Registry[T] | None = self
+        while layer is not None:
+            if name in layer._entries:
+                return layer._entries[name]
+            layer = layer.parent
+        raise RegistryError(
+            f"unknown {self.kind} {name!r}",
+            name=name,
+            available=self.names(),
+        )
+
+    def __contains__(self, name: object) -> bool:
+        layer: Registry[T] | None = self
+        while layer is not None:
+            if name in layer._entries:
+                return True
+            layer = layer.parent
+        return False
+
+    def is_local(self, name: str) -> bool:
+        """True when ``name`` is registered in this layer (not inherited)."""
+        return name in self._entries
+
+    def names(self) -> list[str]:
+        """Every resolvable name, sorted (local shadows parent)."""
+        seen: set[str] = set()
+        layer: Registry[T] | None = self
+        while layer is not None:
+            seen.update(layer._entries)
+            layer = layer.parent
+        return sorted(seen)
+
+    def local_names(self) -> list[str]:
+        """Names registered in this layer only, sorted."""
+        return sorted(self._entries)
+
+    def items(self) -> Iterator[tuple[str, T]]:
+        """(name, entry) pairs for every resolvable name, sorted."""
+        for name in self.names():
+            yield name, self.get(name)
+
+    # ------------------------------------------------------------------
+    # layering
+    # ------------------------------------------------------------------
+
+    def child(self) -> "Registry[T]":
+        """A fresh empty layer resolving through this registry."""
+        return type(self)(kind=self.kind, parent=self)
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        depth = 0
+        layer = self.parent
+        while layer is not None:
+            depth += 1
+            layer = layer.parent
+        return (
+            f"<Registry {self.kind!r}: {len(self._entries)} local entries"
+            f"{f', depth {depth}' if depth else ''}>"
+        )
+
+
+def singleton(factory: Callable[[], T]) -> Callable[[], T]:
+    """Decorator memoizing a zero-argument registry constructor."""
+    instance: list[T] = []
+
+    def wrapper() -> T:
+        if not instance:
+            instance.append(factory())
+        return instance[0]
+
+    wrapper.__name__ = factory.__name__
+    wrapper.__doc__ = factory.__doc__
+    return wrapper

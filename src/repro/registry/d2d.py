@@ -1,0 +1,92 @@
+"""D2D interface registry: the catalog profiles plus custom PHYs.
+
+Custom profiles use the declarative spec mirrored by config schema v2::
+
+    {"carrier": "interposer", "bandwidth_density": 900.0,
+     "energy_pj_per_bit": 0.3, "reach_mm": 2.0}
+
+or derive from a registered profile with ``{"base": "serdes-xsr", ...}``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.d2d.interface import D2D_CATALOG, D2DInterface
+from repro.errors import RegistryError
+from repro.registry.core import Registry, singleton
+
+#: D2DInterface constructor fields accepted in specs.
+D2D_FIELDS: tuple[str, ...] = tuple(
+    field.name for field in dataclasses.fields(D2DInterface)
+)
+
+
+class D2DRegistry(Registry[D2DInterface]):
+    """Registry of :class:`D2DInterface` profiles."""
+
+    def __init__(self, kind: str = "D2D interface", parent: "D2DRegistry | None" = None):
+        super().__init__(kind=kind, parent=parent)
+
+    def register_spec(
+        self, name: str, spec: Mapping[str, Any], overwrite: bool = False
+    ) -> D2DInterface:
+        return self.register(
+            name, d2d_from_spec(spec, registry=self, name=name), overwrite=overwrite
+        )
+
+
+def d2d_from_spec(
+    spec: Mapping[str, Any],
+    registry: D2DRegistry | None = None,
+    name: str | None = None,
+) -> D2DInterface:
+    """Build a :class:`D2DInterface` from a declarative spec."""
+    if not isinstance(spec, Mapping):
+        raise RegistryError(f"D2D spec must be a mapping, got {type(spec).__name__}")
+    payload = dict(spec)
+    base_ref = payload.pop("base", None)
+    payload.setdefault("name", name)
+    if payload["name"] is None:
+        raise RegistryError("D2D interface spec needs a name")
+    unknown = sorted(set(payload) - set(D2D_FIELDS))
+    if unknown:
+        raise RegistryError(
+            f"D2D spec {payload['name']!r}: unknown fields {unknown} "
+            f"(known: {sorted(D2D_FIELDS)})"
+        )
+    if base_ref is not None:
+        base = (registry or d2d_registry()).get(str(base_ref))
+        return dataclasses.replace(base, **payload)
+    missing = sorted(set(D2D_FIELDS) - set(payload))
+    if missing:
+        raise RegistryError(
+            f"D2D spec {payload['name']!r}: missing fields {missing} "
+            "(or use a 'base' profile to derive from)"
+        )
+    return D2DInterface(**payload)
+
+
+def d2d_to_spec(interface: D2DInterface) -> dict[str, Any]:
+    """Fully-specified, JSON-ready spec reconstructing ``interface``."""
+    return {field: getattr(interface, field) for field in D2D_FIELDS}
+
+
+@singleton
+def d2d_registry() -> D2DRegistry:
+    """The process-wide D2D registry, seeded with the catalog profiles."""
+    registry = D2DRegistry()
+    for name, profile in D2D_CATALOG.items():
+        registry.register(name, profile)
+    return registry
+
+
+def register_d2d(
+    name: str, interface: "D2DInterface | Mapping[str, Any]", overwrite: bool = False
+) -> D2DInterface:
+    """Register a custom D2D profile (object or spec) globally."""
+    registry = d2d_registry()
+    if isinstance(interface, D2DInterface):
+        return registry.register(name, interface, overwrite=overwrite)
+    return registry.register_spec(name, interface, overwrite=overwrite)

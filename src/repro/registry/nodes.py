@@ -1,0 +1,124 @@
+"""Process-node registry: the catalog plus user-defined nodes.
+
+The catalog in ``repro.process.catalog`` stays the authoritative data
+source for the paper's nodes; this registry layers user extensions on
+top of it.  Custom nodes come in two declarative shapes (both JSON
+round-trippable — config schema v2 and scenario documents use them
+verbatim)::
+
+    {"base": "7nm", "defect_density": 0.2}          # derived node
+    {"defect_density": 0.09, "cluster_param": 10.0,  # fully specified
+     "wafer_price": 9346.0, ...}
+
+Derived specs resolve ``base`` through the registry itself (so a custom
+node can derive from another custom node registered earlier) and apply
+the remaining keys as :meth:`repro.process.node.ProcessNode.evolve`
+overrides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.errors import RegistryError
+from repro.process.node import ProcessNode
+from repro.registry.core import Registry, singleton
+
+#: ProcessNode constructor fields accepted in fully-specified specs.
+NODE_FIELDS: tuple[str, ...] = tuple(
+    field.name for field in dataclasses.fields(ProcessNode)
+)
+
+#: Fields a fully-specified node spec must provide.
+_REQUIRED_FIELDS = ("defect_density", "cluster_param", "wafer_price")
+
+
+class NodeRegistry(Registry[ProcessNode]):
+    """Registry of :class:`ProcessNode` objects."""
+
+    def __init__(self, kind: str = "process node", parent: "NodeRegistry | None" = None):
+        super().__init__(kind=kind, parent=parent)
+
+    def register_spec(
+        self, name: str, spec: Mapping[str, Any], overwrite: bool = False
+    ) -> ProcessNode:
+        """Build a node from a declarative spec and register it."""
+        return self.register(
+            name, node_from_spec(spec, registry=self, name=name), overwrite=overwrite
+        )
+
+    def resolve(self, ref: "str | ProcessNode") -> ProcessNode:
+        """Resolve a name or pass a node object through."""
+        if isinstance(ref, ProcessNode):
+            return ref
+        return self.get(ref)
+
+
+def node_from_spec(
+    spec: Mapping[str, Any],
+    registry: NodeRegistry | None = None,
+    name: str | None = None,
+) -> ProcessNode:
+    """Build a :class:`ProcessNode` from a declarative spec.
+
+    Args:
+        spec: ``{"base": <name>, **overrides}`` or a full parameter
+            mapping (see module docstring).
+        registry: Registry resolving the ``base`` reference (default:
+            the global :func:`node_registry`).
+        name: Node name when the spec does not carry one (config and
+            scenario documents pass their mapping key).
+    """
+    if not isinstance(spec, Mapping):
+        raise RegistryError(f"process-node spec must be a mapping, got {type(spec).__name__}")
+    payload = dict(spec)
+    base_ref = payload.pop("base", None)
+    payload.setdefault("name", name)
+    if payload["name"] is None:
+        raise RegistryError("process-node spec needs a name")
+
+    unknown = sorted(set(payload) - set(NODE_FIELDS))
+    if unknown:
+        raise RegistryError(
+            f"process-node spec {payload['name']!r}: unknown fields {unknown} "
+            f"(known: {sorted(NODE_FIELDS)})"
+        )
+
+    if base_ref is not None:
+        base = (registry or node_registry()).resolve(base_ref)
+        return base.evolve(**{key: value for key, value in payload.items()})
+
+    missing = [field for field in _REQUIRED_FIELDS if field not in payload]
+    if missing:
+        raise RegistryError(
+            f"process-node spec {payload['name']!r}: missing fields {missing} "
+            "(or use a 'base' node to derive from)"
+        )
+    return ProcessNode(**payload)
+
+
+def node_to_spec(node: ProcessNode) -> dict[str, Any]:
+    """Fully-specified, JSON-ready spec reconstructing ``node`` exactly."""
+    return {field: getattr(node, field) for field in NODE_FIELDS}
+
+
+@singleton
+def node_registry() -> NodeRegistry:
+    """The process-wide node registry, seeded with the catalog."""
+    from repro.process.catalog import NODES
+
+    registry = NodeRegistry()
+    for name, node in NODES.items():
+        registry.register(name, node)
+    return registry
+
+
+def register_node(
+    name: str, node: "ProcessNode | Mapping[str, Any]", overwrite: bool = False
+) -> ProcessNode:
+    """Register a custom node (object or declarative spec) globally."""
+    registry = node_registry()
+    if isinstance(node, ProcessNode):
+        return registry.register(name, node, overwrite=overwrite)
+    return registry.register_spec(name, node, overwrite=overwrite)

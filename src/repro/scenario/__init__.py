@@ -1,0 +1,60 @@
+"""Declarative scenario layer: describe studies as data, run them batched.
+
+``ScenarioSpec`` (``repro.scenario.spec``) is the JSON-round-trippable
+description of a study campaign — custom nodes/technologies plus
+figure/partition/Monte-Carlo/Pareto/sensitivity/reuse studies — and
+``ScenarioRunner`` (``repro.scenario.runner``) executes it through the
+batched :class:`~repro.engine.costengine.CostEngine` fast paths.
+"""
+
+from repro.scenario.spec import (
+    FIGURE_IDS,
+    REUSE_SCHEMES,
+    STUDY_TYPES,
+    FigureStudy,
+    MonteCarloStudy,
+    ParetoStudy,
+    PartitionGridStudy,
+    PartitionSweepStudy,
+    ReuseStudy,
+    ScenarioSpec,
+    SensitivityStudy,
+    SystemsStudy,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    study_from_dict,
+    study_to_dict,
+)
+from repro.scenario.runner import (
+    ScenarioResult,
+    ScenarioRunner,
+    StudyResult,
+    run_scenario,
+)
+
+__all__ = [
+    "FIGURE_IDS",
+    "REUSE_SCHEMES",
+    "STUDY_TYPES",
+    "FigureStudy",
+    "SystemsStudy",
+    "PartitionSweepStudy",
+    "PartitionGridStudy",
+    "MonteCarloStudy",
+    "ParetoStudy",
+    "SensitivityStudy",
+    "ReuseStudy",
+    "ScenarioSpec",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "study_to_dict",
+    "study_from_dict",
+    "load_scenario",
+    "save_scenario",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "StudyResult",
+    "run_scenario",
+]

@@ -104,3 +104,63 @@ def test_portfolio_report(capsys, tmp_path):
     assert code == 0
     assert "mcm-1x" in out
     assert "(average)" in out
+
+
+def test_techs_lists_registries(capsys):
+    code, out, _err = run_cli(capsys, "techs")
+    assert code == 0
+    for name in ("soc", "mcm", "info", "2.5d", "3d"):
+        assert name in out
+    assert "serdes-xsr" in out
+    assert "parallel-interposer" in out
+
+
+def test_run_scenario(capsys, tmp_path):
+    import json
+
+    scenario = {
+        "scenario": "cli-test",
+        "nodes": {"7hp": {"base": "7nm", "defect_density": 0.12}},
+        "technologies": {
+            "hv": {"base": "2.5d", "params": {"chip_attach_yield": 0.95}}
+        },
+        "studies": [
+            {
+                "kind": "partition_sweep",
+                "name": "sweep",
+                "module_area": 500.0,
+                "node": "7hp",
+                "technology": "hv",
+                "chiplet_counts": [1, 2, 3],
+            },
+            {"kind": "figure", "name": "f2", "figure": 2,
+             "params": {"areas": [100, 200, 300, 400]}},
+        ],
+    }
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(scenario))
+    code, out, _err = run_cli(capsys, "run", str(path))
+    assert code == 0
+    assert "Scenario: cli-test" in out
+    assert "=== sweep ===" in out
+    assert "=== f2 ===" in out
+    assert "7hp" in out
+
+    # --study filters to one study
+    code, out, _err = run_cli(capsys, "run", str(path), "--study", "sweep")
+    assert code == 0
+    assert "=== sweep ===" in out
+    assert "=== f2 ===" not in out
+
+    # unknown study name is a clean error
+    code, _out, err = run_cli(capsys, "run", str(path), "--study", "nope")
+    assert code == 2
+    assert "error:" in err
+
+
+def test_run_invalid_file_is_clean_error(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    code, _out, err = run_cli(capsys, "run", str(path))
+    assert code == 2
+    assert "error:" in err

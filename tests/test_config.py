@@ -103,12 +103,16 @@ class TestErrors:
         with pytest.raises(ConfigError):
             load_portfolio(str(path))
 
-    def test_custom_node_not_serializable(self, n7, mcm_tech):
+    def test_custom_node_serializes_as_v2(self, n7, mcm_tech):
+        """Custom-parameter nodes are config data now (schema v2)."""
         from repro.core.module import Module
         from repro.core.system import chiplet
 
         weird = n7.evolve(name="custom-node")
         chip = chiplet("c", [Module("m", 100.0, weird)], weird)
         system = multichip("s", [chip], mcm_tech)
-        with pytest.raises(ConfigError):
-            portfolio_to_dict(Portfolio([system]))
+        document = portfolio_to_dict(Portfolio([system]))
+        assert document["version"] == 2
+        assert "custom-node" in document["nodes"]
+        restored = portfolio_from_dict(document)
+        assert restored.systems[0].chips[0].node == weird

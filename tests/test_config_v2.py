@@ -1,0 +1,249 @@
+"""Config schema v2: custom nodes/technologies and v1 back-compat."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    FORMAT_VERSION,
+    build_registries,
+    load_portfolio,
+    portfolio_from_dict,
+    portfolio_to_dict,
+    save_portfolio,
+)
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.package_design import PackageDesign
+from repro.core.system import multichip
+from repro.d2d.overhead import BandwidthOverhead, FractionOverhead
+from repro.errors import ConfigError
+from repro.process.catalog import get_node
+from repro.registry import d2d_registry, technology_registry
+from repro.reuse.portfolio import Portfolio
+
+
+@pytest.fixture
+def custom_portfolio():
+    """Custom node + parameterized technology + bandwidth D2D policy."""
+    node = get_node("7nm").evolve(defect_density=0.2)
+    tech = technology_registry().create("2.5d", chip_attach_yield=0.9)
+    phy = d2d_registry().get("parallel-interposer")
+    module = Module("blk", 120.0, node)
+    compute = Chip.of("compute", (module,), node, d2d=FractionOverhead(0.1))
+    io_chip = Chip.of(
+        "io",
+        (Module("io-blk", 80.0, get_node("14nm")),),
+        get_node("14nm"),
+        d2d=BandwidthOverhead(bandwidth_gbps=300.0, interface=phy),
+    )
+    package = PackageDesign.for_chips(
+        "big-pkg", tech, (compute.area, compute.area, io_chip.area)
+    )
+    small = multichip("small", [compute, io_chip], tech, quantity=1e5,
+                      package=package)
+    large = multichip("large", [compute, compute, io_chip], tech,
+                      quantity=5e4, package=package)
+    return Portfolio([small, large])
+
+
+class TestV2RoundTrip:
+    def test_emits_version_2_with_custom_sections(self, custom_portfolio):
+        document = portfolio_to_dict(custom_portfolio)
+        assert document["version"] == 2
+        assert document["nodes"]          # the evolved 7nm node
+        assert document["technologies"]   # the parameterized 2.5d
+        json.dumps(document)              # JSON-clean
+
+    def test_round_trip_preserves_costs_exactly(self, custom_portfolio):
+        restored = portfolio_from_dict(portfolio_to_dict(custom_portfolio))
+        for original, rebuilt in zip(custom_portfolio.systems, restored.systems):
+            original_cost = custom_portfolio.amortized_cost(original)
+            rebuilt_cost = restored.amortized_cost(rebuilt)
+            assert rebuilt_cost.total == pytest.approx(
+                original_cost.total, rel=1e-12
+            )
+            assert rebuilt_cost.re_total == pytest.approx(
+                original_cost.re_total, rel=1e-12
+            )
+
+    def test_round_trip_preserves_values(self, custom_portfolio):
+        restored = portfolio_from_dict(portfolio_to_dict(custom_portfolio))
+        chip = restored.systems[0].chips[0]
+        assert chip.node.defect_density == 0.2
+        assert restored.systems[0].integration.chip_attach_yield == 0.9
+        io_chip = restored.systems[0].chips[1]
+        assert isinstance(io_chip.d2d, BandwidthOverhead)
+        assert io_chip.d2d.bandwidth_gbps == 300.0
+
+    def test_round_trip_preserves_sharing(self, custom_portfolio):
+        restored = portfolio_from_dict(portfolio_to_dict(custom_portfolio))
+        packages = {id(system.package) for system in restored.systems}
+        assert len(packages) == 1
+        techs = {id(system.integration) for system in restored.systems}
+        assert len(techs) == 1
+
+    def test_file_round_trip(self, custom_portfolio, tmp_path):
+        path = str(tmp_path / "v2.json")
+        save_portfolio(custom_portfolio, path)
+        restored = load_portfolio(path)
+        assert restored.average_cost() == pytest.approx(
+            custom_portfolio.average_cost(), rel=1e-12
+        )
+
+    def test_scenario_spec_with_reuse_portfolio_round_trips(self):
+        """Full ScenarioSpec round trip including a reuse portfolio."""
+        from repro.scenario import (
+            ReuseStudy,
+            ScenarioSpec,
+            run_scenario,
+            scenario_from_dict,
+            scenario_to_dict,
+        )
+
+        spec = ScenarioSpec(
+            name="reuse-v2",
+            nodes={"7lp": {"base": "7nm", "defect_density": 0.08}},
+            technologies={"hv": {"base": "2.5d",
+                                 "params": {"chip_attach_yield": 0.97}}},
+            studies=(
+                ReuseStudy(name="scms", scheme="scms", technology="hv",
+                           params={"module_area": 180.0, "node": "7lp",
+                                    "counts": [1, 2, 4]}),
+                ReuseStudy(name="fsmc", scheme="fsmc", technology="hv",
+                           params={"n_chiplets": 2, "k_sockets": 2,
+                                    "node": "7lp"}),
+            ),
+        )
+        rebuilt = scenario_from_dict(scenario_to_dict(spec))
+        assert rebuilt == spec
+        result = run_scenario(rebuilt)
+        study = result.result("scms").data
+        assert study.config.node.defect_density == 0.08
+        assert study.config.node.name == "7lp"
+        assert len(result.result("fsmc").data.multichip.systems) == 5
+
+
+class TestV1BackCompat:
+    V1_DOCUMENT = {
+        "version": 1,
+        "modules": {
+            "m0": {"name": "core", "area": 200.0, "node": "7nm",
+                   "scalable_fraction": 1.0}
+        },
+        "chips": {
+            "c0": {"name": "die", "modules": ["m0"], "node": "7nm",
+                   "d2d_fraction": 0.1}
+        },
+        "packages": {
+            "p0": {"name": "pkg", "integration": "mcm",
+                   "socket_areas": [222.23, 222.23]}
+        },
+        "systems": [
+            {"name": "sys", "chips": ["c0", "c0"], "integration": "mcm",
+             "quantity": 500000.0, "package": "p0"}
+        ],
+    }
+
+    def test_v1_file_loads(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self.V1_DOCUMENT))
+        portfolio = load_portfolio(str(path))
+        system = portfolio.systems[0]
+        assert system.name == "sys"
+        assert system.integration.name == "mcm"
+        assert system.package is not None
+        assert portfolio.amortized_cost(system).total > 0
+
+    def test_v1_rejects_custom_sections(self):
+        document = dict(self.V1_DOCUMENT)
+        document["nodes"] = {"x": {"base": "7nm"}}
+        with pytest.raises(ConfigError):
+            portfolio_from_dict(document)
+
+    def test_v1_rejects_non_catalog_node(self):
+        document = json.loads(json.dumps(self.V1_DOCUMENT))
+        document["modules"]["m0"]["node"] = "6nm-custom"
+        with pytest.raises(ConfigError):
+            portfolio_from_dict(document)
+
+    def test_v1_rejects_non_builtin_integration(self):
+        document = json.loads(json.dumps(self.V1_DOCUMENT))
+        document["systems"][0]["integration"] = "3d"
+        with pytest.raises(ConfigError):
+            portfolio_from_dict(document)
+
+    def test_default_portfolios_still_emit_v1(self):
+        """Catalog-only portfolios keep writing v1 for old readers."""
+        node = get_node("7nm")
+        chip = Chip.of("c", (Module("m", 100.0, node),), node,
+                       d2d=FractionOverhead(0.1))
+        system = multichip("s", [chip, chip],
+                           technology_registry().create("mcm"))
+        document = portfolio_to_dict(Portfolio([system]))
+        assert document["version"] == 1
+        assert "nodes" not in document
+        assert "technologies" not in document
+
+
+class TestBuildRegistries:
+    def test_malformed_section_is_config_error(self):
+        with pytest.raises(ConfigError):
+            build_registries({"nodes": {"bad": {"base": "nope-nm"}}})
+        with pytest.raises(ConfigError):
+            build_registries({"technologies": {"bad": {"params": {}}}})
+        with pytest.raises(ConfigError):
+            build_registries({"nodes": "not-a-mapping"})
+
+    def test_format_version_is_two(self):
+        assert FORMAT_VERSION == 2
+
+
+class TestReviewRegressions:
+    def test_default_3d_portfolio_round_trips_as_v2(self):
+        """A '3d' integration is not in the v1 set; the writer must emit
+        v2 so the document loads back (previously: unloadable v1)."""
+        from repro.packaging.stacked3d import stacked_3d
+
+        node = get_node("7nm")
+        base = Chip.of("base", (Module("mb", 200.0, node),), node,
+                       d2d=FractionOverhead(0.1))
+        top = Chip.of("top", (Module("mt", 100.0, node),), node,
+                      d2d=FractionOverhead(0.1))
+        system = multichip("stack", [base, top], stacked_3d())
+        document = portfolio_to_dict(Portfolio([system]))
+        assert document["version"] == 2
+        restored = portfolio_from_dict(document)
+        assert restored.systems[0].integration.name == "3d"
+
+    def test_typoed_technology_parameter_rejected(self):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            technology_registry().create("2.5d", chip_atach_yield=0.95)
+        with pytest.raises(ConfigError):
+            build_registries(
+                {"technologies": {"hv": {"base": "2.5d",
+                                          "params": {"chip_atach_yield": 0.95}}}}
+            )
+
+    def test_scenario_one_chiplet_partition_matches_cli_semantics(self):
+        """technology != 'soc' with n_chiplets=1 prices the 1-chiplet
+        package, exactly like `montecarlo --integration mcm --chiplets 1`."""
+        from repro.explore.montecarlo import monte_carlo_cost
+        from repro.explore.partition import partition_monolith
+        from repro.scenario import MonteCarloStudy, ScenarioSpec, run_scenario
+
+        spec = ScenarioSpec(
+            name="one-chiplet",
+            studies=(MonteCarloStudy(name="mc", module_area=400.0,
+                                     node="7nm", technology="mcm",
+                                     n_chiplets=1, draws=30),),
+        )
+        study_result = run_scenario(spec).result("mc").data
+        system = partition_monolith(
+            400.0, get_node("7nm"), 1,
+            technology_registry().create("mcm"), d2d_fraction=0.10,
+        )
+        direct = monte_carlo_cost(system, draws=30)
+        assert study_result.samples == direct.samples

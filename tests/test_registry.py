@@ -1,0 +1,167 @@
+"""Registry layer: lookup, layering, declarative specs."""
+
+import pytest
+
+from repro.errors import RegistryError, UnknownNodeError
+from repro.process.catalog import NODES, get_node
+from repro.registry import (
+    Registry,
+    d2d_from_spec,
+    d2d_registry,
+    node_from_spec,
+    node_registry,
+    node_to_spec,
+    parse_flow,
+    technology_from_spec,
+    technology_registry,
+    technology_to_spec,
+)
+from repro.packaging.assembly import AssemblyFlow
+from repro.packaging.interposer import interposer_25d
+from repro.packaging.mcm import mcm
+
+
+class TestCore:
+    def test_register_and_get(self):
+        registry = Registry(kind="thing")
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert "a" in registry
+
+    def test_duplicate_rejected_unless_overwrite(self):
+        registry = Registry(kind="thing")
+        registry.register("a", 1)
+        with pytest.raises(RegistryError):
+            registry.register("a", 2)
+        registry.register("a", 2, overwrite=True)
+        assert registry.get("a") == 2
+
+    def test_unknown_name_lists_available(self):
+        registry = Registry(kind="thing")
+        registry.register("alpha", 1)
+        with pytest.raises(RegistryError) as excinfo:
+            registry.get("beta")
+        assert "alpha" in str(excinfo.value)
+
+    def test_child_layer_shadows_parent(self):
+        parent = Registry(kind="thing")
+        parent.register("a", 1)
+        child = parent.child()
+        assert child.get("a") == 1          # falls through
+        child.register("a", 2)              # shadowing allowed
+        assert child.get("a") == 2
+        assert parent.get("a") == 1         # parent untouched
+        child.register("b", 3)
+        assert "b" not in parent
+        assert set(child.names()) == {"a", "b"}
+
+    def test_unregister_local_only(self):
+        parent = Registry(kind="thing")
+        parent.register("a", 1)
+        child = parent.child()
+        with pytest.raises(RegistryError):
+            child.unregister("a")
+
+
+class TestNodeRegistry:
+    def test_seeded_with_catalog(self):
+        registry = node_registry()
+        for name in NODES:
+            assert registry.get(name) is NODES[name]
+
+    def test_derived_spec(self):
+        node = node_from_spec({"base": "7nm", "defect_density": 0.2},
+                              name="7nm-risk")
+        assert node.name == "7nm-risk"
+        assert node.defect_density == 0.2
+        assert node.wafer_price == NODES["7nm"].wafer_price
+
+    def test_full_spec_round_trip(self):
+        spec = node_to_spec(NODES["5nm"])
+        rebuilt = node_from_spec(spec)
+        assert rebuilt == NODES["5nm"]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(RegistryError):
+            node_from_spec({"base": "7nm", "defectt_density": 0.2}, name="x")
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(RegistryError):
+            node_from_spec({"defect_density": 0.1}, name="incomplete")
+
+    def test_get_node_sees_registered_custom_node(self):
+        child = node_registry()
+        child.register_spec("test-node-xyz", {"base": "7nm", "defect_density": 0.42})
+        try:
+            assert get_node("test-node-xyz").defect_density == 0.42
+        finally:
+            child.unregister("test-node-xyz")
+
+    def test_get_node_unknown_still_raises_unknown_node(self):
+        with pytest.raises(UnknownNodeError):
+            get_node("nope-nm")
+
+
+class TestTechnologyRegistry:
+    def test_builtins_present(self):
+        registry = technology_registry()
+        assert {"soc", "mcm", "info", "2.5d", "3d"} <= set(registry.names())
+
+    def test_create_returns_fresh_instances(self):
+        registry = technology_registry()
+        assert registry.create("mcm") is not registry.create("mcm")
+        assert registry.create("mcm") == mcm()
+
+    def test_create_with_overrides(self):
+        tech = technology_registry().create("2.5d", chip_attach_yield=0.9)
+        assert tech.chip_attach_yield == 0.9
+        assert tech == interposer_25d(chip_attach_yield=0.9)
+
+    def test_variant_spec_layering(self):
+        child = technology_registry().child()
+        child.register_spec(
+            "hv", {"base": "2.5d", "params": {"chip_attach_yield": 0.9}}
+        )
+        tech = child.create("hv")
+        assert tech.chip_attach_yield == 0.9
+        # variant-of-variant composes params
+        child.register_spec("hv2", {"base": "hv", "carrier_attach_yield": 0.95})
+        tech2 = child.create("hv2")
+        assert tech2.chip_attach_yield == 0.9
+        assert tech2.carrier_attach_yield == 0.95
+
+    def test_flow_string_parsing(self):
+        assert parse_flow("chip-first") is AssemblyFlow.CHIP_FIRST
+        assert parse_flow(AssemblyFlow.CHIP_LAST) is AssemblyFlow.CHIP_LAST
+        with pytest.raises(RegistryError):
+            parse_flow("sideways")
+        tech = technology_from_spec({"base": "info", "flow": "chip_first"})
+        assert tech.flow is AssemblyFlow.CHIP_FIRST
+
+    def test_to_spec_default_is_empty_params(self):
+        for name in ("soc", "mcm", "info", "2.5d", "3d"):
+            spec = technology_to_spec(technology_registry().create(name))
+            assert spec == {"base": name, "params": {}}
+
+    def test_to_spec_round_trip(self):
+        original = interposer_25d(chip_attach_yield=0.9, nre_fixed=2e6)
+        spec = technology_to_spec(original)
+        rebuilt = technology_from_spec(spec)
+        assert rebuilt == original
+
+    def test_active_interposer_not_serializable(self):
+        with pytest.raises(RegistryError):
+            technology_to_spec(interposer_25d(active=True))
+
+
+class TestD2DRegistry:
+    def test_catalog_profiles(self):
+        assert "serdes-xsr" in d2d_registry()
+
+    def test_derived_spec(self):
+        profile = d2d_from_spec(
+            {"base": "parallel-interposer", "bandwidth_density": 900.0},
+            name="ucie",
+        )
+        assert profile.bandwidth_density == 900.0
+        assert profile.carrier == "interposer"
