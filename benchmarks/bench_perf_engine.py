@@ -11,6 +11,11 @@ replace and records the throughput trajectory to ``BENCH_engine.json``:
   partition grid: per-point ``compute_re_cost`` with caches bypassed
   versus ``CostEngine.grid`` with cold shared caches.  Acceptance:
   >= 3x.
+* **Portfolio volume sweep** — a 20-point volume sweep of an FSMC
+  (n=4, k=4) reuse study: per-point study rebuilding plus the
+  ``Portfolio`` oracle (warm die cache — the honest pre-engine
+  baseline) versus one ``PortfolioEngine`` decomposition re-scaled in
+  closed form.  Acceptance: >= 5x.
 
 Both comparisons assert exact result parity before reporting a number,
 so the speedup can never come from computing something different.
@@ -41,6 +46,7 @@ RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_engine.json")
 
 MC_SPEEDUP_FLOOR = 10.0
 SWEEP_SPEEDUP_FLOOR = 3.0
+PORTFOLIO_SPEEDUP_FLOOR = 5.0
 
 
 def _monte_carlo_case(draws: int) -> dict:
@@ -118,6 +124,70 @@ def _partition_sweep_case(n_areas: int, n_counts: int) -> dict:
     }
 
 
+def _portfolio_volume_sweep_case(
+    n_chiplets: int, k_sockets: int, points: int
+) -> dict:
+    """Naive (rebuild the study per volume point, price via the
+    ``Portfolio`` oracle) vs one ``PortfolioEngine`` decomposition
+    re-scaled in closed form.  Asserts bit parity of every per-system
+    total and every portfolio average before reporting."""
+    from repro.engine import CostEngine
+    from repro.engine.fastportfolio import PortfolioEngine
+    from repro.packaging.mcm import mcm
+    from repro.reuse.fsmc import FSMCConfig, build_fsmc
+
+    tech = mcm()
+    base_quantity = 500_000.0
+    scales = [0.25 + 1.75 * i / max(1, points - 1) for i in range(points)]
+
+    def config(scale: float) -> FSMCConfig:
+        return FSMCConfig(
+            n_chiplets=n_chiplets,
+            k_sockets=k_sockets,
+            quantity=base_quantity * scale,
+        )
+
+    # Warm the shared die-cost cache for both paths: the pre-engine
+    # baseline also benefited from it, so the speedup reflects the
+    # decomposition, not cache luck.
+    build_fsmc(config(1.0), tech)
+
+    start = time.perf_counter()
+    naive: list[float] = []
+    for scale in scales:
+        study = build_fsmc(config(scale), tech)
+        for portfolio in (study.soc, study.multichip):
+            for system in portfolio.systems:
+                naive.append(portfolio.amortized_cost(system).total)
+            naive.append(portfolio.average_cost())
+    naive_s = time.perf_counter() - start
+
+    engine = PortfolioEngine(CostEngine())
+    start = time.perf_counter()
+    study = build_fsmc(config(1.0), tech)
+    fast: list[float] = []
+    for scale in scales:
+        for portfolio in (study.soc, study.multichip):
+            costs = engine.evaluate(portfolio, volume_scale=scale)
+            fast.extend(cost.total for cost in costs.costs)
+            fast.append(costs.average)
+    fast_s = time.perf_counter() - start
+
+    assert fast == naive, "portfolio engine/oracle volume-sweep parity broken"
+    systems = len(study.soc.systems) + len(study.multichip.systems)
+    evaluations = systems * points
+    return {
+        "points": points,
+        "systems": systems,
+        "evaluations": evaluations,
+        "naive_seconds": naive_s,
+        "engine_seconds": fast_s,
+        "naive_systems_per_sec": evaluations / naive_s,
+        "engine_systems_per_sec": evaluations / fast_s,
+        "speedup": naive_s / fast_s,
+    }
+
+
 def run_bench(smoke: bool = False) -> dict:
     """Run both cases; full mode repeats each and keeps the best round."""
     rounds = 1 if smoke else 5
@@ -125,6 +195,7 @@ def run_bench(smoke: bool = False) -> dict:
     # (about 1e6+ draws/s) is what the number reflects.
     mc_draws = 25 if smoke else 5000
     grid_shape = (4, 4) if smoke else (10, 10)
+    portfolio_shape = (3, 3, 4) if smoke else (4, 4, 20)
 
     mc = max(
         (_monte_carlo_case(mc_draws) for _ in range(rounds)),
@@ -134,18 +205,24 @@ def run_bench(smoke: bool = False) -> dict:
         (_partition_sweep_case(*grid_shape) for _ in range(rounds)),
         key=lambda case: case["speedup"],
     )
+    portfolio = max(
+        (_portfolio_volume_sweep_case(*portfolio_shape) for _ in range(rounds)),
+        key=lambda case: case["speedup"],
+    )
     return {
         "bench": "bench_perf_engine",
         "mode": "smoke" if smoke else "full",
         "python": sys.version.split()[0],
         "monte_carlo": mc,
         "partition_sweep": sweep,
+        "portfolio_volume_sweep": portfolio,
     }
 
 
 def _report(results: dict) -> str:
     mc = results["monte_carlo"]
     sweep = results["partition_sweep"]
+    portfolio = results["portfolio_volume_sweep"]
     return "\n".join(
         [
             f"engine perf bench ({results['mode']})",
@@ -157,6 +234,10 @@ def _report(results: dict) -> str:
             f"naive {sweep['naive_systems_per_sec']:>10.0f}/s   "
             f"engine {sweep['engine_systems_per_sec']:>10.0f}/s   "
             f"speedup {sweep['speedup']:.1f}x",
+            f"  portfolio sweep {portfolio['evaluations']:>6} evals   "
+            f"naive {portfolio['naive_systems_per_sec']:>10.0f}/s   "
+            f"engine {portfolio['engine_systems_per_sec']:>10.0f}/s   "
+            f"speedup {portfolio['speedup']:.1f}x",
         ]
     )
 
@@ -170,6 +251,9 @@ def test_perf_engine_full():
     _write(results, RESULT_PATH)
     assert results["monte_carlo"]["speedup"] >= MC_SPEEDUP_FLOOR
     assert results["partition_sweep"]["speedup"] >= SWEEP_SPEEDUP_FLOOR
+    assert (
+        results["portfolio_volume_sweep"]["speedup"] >= PORTFOLIO_SPEEDUP_FLOOR
+    )
 
 
 def _write(results: dict, path: str) -> None:
@@ -203,11 +287,14 @@ def main(argv: list[str] | None = None) -> int:
         ok = (
             results["monte_carlo"]["speedup"] >= MC_SPEEDUP_FLOOR
             and results["partition_sweep"]["speedup"] >= SWEEP_SPEEDUP_FLOOR
+            and results["portfolio_volume_sweep"]["speedup"]
+            >= PORTFOLIO_SPEEDUP_FLOOR
         )
         if not ok:
             print(
                 f"FAIL: below acceptance floors "
-                f"({MC_SPEEDUP_FLOOR:.0f}x MC, {SWEEP_SPEEDUP_FLOOR:.0f}x sweep)",
+                f"({MC_SPEEDUP_FLOOR:.0f}x MC, {SWEEP_SPEEDUP_FLOOR:.0f}x "
+                f"sweep, {PORTFOLIO_SPEEDUP_FLOOR:.0f}x portfolio)",
                 file=sys.stderr,
             )
             return 1

@@ -112,15 +112,21 @@ from repro.explore import (
 )
 from repro.engine import (
     CostEngine,
+    PortfolioEngine,
     cached_die_cost,
     default_engine,
+    default_portfolio_engine,
 )
 from repro.registry import (
     node_registry,
     register_d2d,
     register_node,
     register_technology,
+    register_wafer_geometry,
+    register_yield_model,
     technology_registry,
+    wafer_geometry_registry,
+    yield_model_registry,
 )
 from repro.scenario import (
     ScenarioRunner,
@@ -216,14 +222,20 @@ __all__ = [
     "moore_limit_proximity",
     # engine
     "CostEngine",
+    "PortfolioEngine",
     "cached_die_cost",
     "default_engine",
+    "default_portfolio_engine",
     # registries
     "node_registry",
     "technology_registry",
     "register_node",
     "register_technology",
     "register_d2d",
+    "register_yield_model",
+    "register_wafer_geometry",
+    "yield_model_registry",
+    "wafer_geometry_registry",
     # scenarios
     "ScenarioSpec",
     "ScenarioRunner",

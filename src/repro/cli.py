@@ -34,6 +34,7 @@ from repro.registry.d2d import d2d_registry
 from repro.registry.nodes import node_registry
 from repro.registry.technologies import technology_registry
 from repro.reporting.table import Table
+from repro.scenario.sinks import SINK_FORMATS
 
 
 def _integration(name: str):
@@ -105,6 +106,33 @@ def _cmd_techs(_args: argparse.Namespace) -> int:
              profile.energy_pj_per_bit, profile.reach_mm]
         )
     print(phys.render())
+    print()
+    from repro.registry.geometries import wafer_geometry_registry
+    from repro.registry.yieldmodels import yield_model_registry
+
+    models = Table(
+        ["name", "family", "params", "gross", "description"],
+        title="Yield-model registry",
+    )
+    for name, entry in yield_model_registry().items():
+        models.add_row(
+            [name, entry.model,
+             ", ".join(f"{k}={v:g}" for k, v in entry.params.items()) or "(node)",
+             entry.gross_factor, entry.description]
+        )
+    print(models.render())
+    print()
+    geometries = Table(
+        ["name", "diameter (mm)", "edge excl (mm)", "scribe (mm)"],
+        title="Wafer-geometry registry",
+        precision=1,
+    )
+    for name, geometry in wafer_geometry_registry().items():
+        geometries.add_row(
+            [name, geometry.diameter, geometry.edge_exclusion,
+             geometry.scribe_width]
+        )
+    print(geometries.render())
     return 0
 
 
@@ -273,7 +301,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.scenario import ScenarioRunner, ScenarioSpec, load_scenario
+    import dataclasses
+
+    from repro.scenario import ScenarioRunner, load_scenario
+    from repro.scenario.sinks import sink_from_mapping, write_sinks
 
     spec = load_scenario(args.file)
     if args.study:
@@ -284,14 +315,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"scenario {spec.name!r} has no studies {sorted(missing)} "
                 f"(available: {[s.name for s in spec.studies]})"
             )
-        spec = ScenarioSpec(
-            name=spec.name,
-            description=spec.description,
-            nodes=spec.nodes,
-            technologies=spec.technologies,
-            d2d_interfaces=spec.d2d_interfaces,
-            studies=studies,
-        )
+        spec = dataclasses.replace(spec, studies=studies)
     result = ScenarioRunner().run(spec)
     header = f"Scenario: {spec.name}"
     if spec.description:
@@ -299,6 +323,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(header)
     print()
     print(result.render())
+
+    # CLI flags override the scenario's 'sinks' section field-by-field
+    # *before* validation, so --sink-dir can complete a section that
+    # only names formats.
+    sink_payload = dict(spec.sinks)
+    if args.sink_dir:
+        sink_payload["directory"] = args.sink_dir
+    if args.sink_format:
+        sink_payload["formats"] = list(args.sink_format)
+    sink = sink_from_mapping(sink_payload) if sink_payload else None
+    if sink is not None:
+        written = write_sinks(result, sink)
+        print()
+        for path in written:
+            print(f"wrote {path}")
     return 0
 
 
@@ -406,6 +445,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="run only the named study (repeatable; default: all)",
+    )
+    run.add_argument(
+        "--sink-dir",
+        default=None,
+        metavar="DIR",
+        help="export per-study results into DIR (overrides the "
+        "scenario's 'sinks' section)",
+    )
+    run.add_argument(
+        "--sink-format",
+        action="append",
+        choices=list(SINK_FORMATS),
+        default=None,
+        help="sink format (repeatable; default: "
+        f"{' and '.join(SINK_FORMATS)})",
     )
 
     portfolio = sub.add_parser("portfolio", help="report a portfolio JSON")

@@ -24,9 +24,12 @@ Format (version 2)::
                      "package": "p0"}]
     }
 
-``nodes`` / ``technologies`` / ``d2d_interfaces`` are declarative
-registry specs (``repro.registry``): custom-parameter nodes and
-parameterized integration technologies are config data, not code.
+``nodes`` / ``technologies`` / ``d2d_interfaces`` — and the optional
+``yield_models`` / ``wafer_geometries`` sections — are declarative
+registry specs (``repro.registry``): custom-parameter nodes,
+parameterized integration technologies, yield-model families and wafer
+formats are config data, not code (scenario partition studies consume
+the last two by name).
 Chips may carry a bandwidth-derived D2D policy as
 ``"d2d": {"policy": "bandwidth", "bandwidth_gbps": ..., "interface":
 <name>}`` instead of ``d2d_fraction``.
@@ -52,11 +55,19 @@ from repro.packaging.base import IntegrationTech
 from repro.process.catalog import NODES
 from repro.process.node import ProcessNode
 from repro.registry.d2d import D2DRegistry, d2d_registry, d2d_to_spec
+from repro.registry.geometries import (
+    WaferGeometryRegistry,
+    wafer_geometry_registry,
+)
 from repro.registry.nodes import NodeRegistry, node_registry, node_to_spec
 from repro.registry.technologies import (
     TechnologyRegistry,
     technology_registry,
     technology_to_spec,
+)
+from repro.registry.yieldmodels import (
+    YieldModelRegistry,
+    yield_model_registry,
 )
 from repro.reuse.portfolio import Portfolio
 
@@ -77,12 +88,24 @@ class ConfigRegistries:
         nodes: NodeRegistry | None = None,
         technologies: TechnologyRegistry | None = None,
         d2d: D2DRegistry | None = None,
+        yield_models: YieldModelRegistry | None = None,
+        geometries: WaferGeometryRegistry | None = None,
     ):
         self.nodes = nodes if nodes is not None else node_registry().child()
         self.technologies = (
             technologies if technologies is not None else technology_registry().child()
         )
         self.d2d = d2d if d2d is not None else d2d_registry().child()
+        self.yield_models = (
+            yield_models
+            if yield_models is not None
+            else yield_model_registry().child()
+        )
+        self.geometries = (
+            geometries
+            if geometries is not None
+            else wafer_geometry_registry().child()
+        )
 
 
 def build_registries(
@@ -101,11 +124,15 @@ def build_registries(
             nodes=base.nodes.child(),
             technologies=base.technologies.child(),
             d2d=base.d2d.child(),
+            yield_models=base.yield_models.child(),
+            geometries=base.geometries.child(),
         )
     sections = (
         ("nodes", registries.nodes.register_spec),
         ("technologies", registries.technologies.register_spec),
         ("d2d_interfaces", registries.d2d.register_spec),
+        ("yield_models", registries.yield_models.register_spec),
+        ("wafer_geometries", registries.geometries.register_spec),
     )
     for section, register in sections:
         payload = document.get(section) or {}
@@ -373,7 +400,10 @@ def portfolio_from_dict(
             f"(expected one of {SUPPORTED_VERSIONS})"
         )
     if version == 1:
-        for section in ("nodes", "technologies", "d2d_interfaces"):
+        for section in (
+            "nodes", "technologies", "d2d_interfaces",
+            "yield_models", "wafer_geometries",
+        ):
             if section in document:
                 raise ConfigError(
                     f"version-1 documents cannot carry a {section!r} section "

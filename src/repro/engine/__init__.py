@@ -11,7 +11,10 @@ Three layers, documented in PERFORMANCE.md:
   ``concurrent.futures`` pools, which ``repro.explore`` and the CLI
   route through;
 * ``repro.engine.fastmc`` — closed-form Monte-Carlo evaluation that
-  prices each draw as pure float arithmetic on re-sampled yields.
+  prices each draw as pure float arithmetic on re-sampled yields;
+* ``repro.engine.fastportfolio`` — :class:`PortfolioEngine` batch
+  evaluation of reuse portfolios (SCMS/OCME/FSMC): shared design-unit
+  NRE vectors plus memoized RE costs, with closed-form volume sweeps.
 
 Attributes resolve lazily (PEP 562) so that low-level modules — e.g.
 ``repro.core.re_cost`` importing the die cache — never pull the batch
@@ -36,6 +39,10 @@ _EXPORTS = {
     "sample_re_costs": "repro.engine.fastmc",
     "partition_re_cost": "repro.engine.fastsweep",
     "soc_re_cost": "repro.engine.fastsweep",
+    "PortfolioCosts": "repro.engine.fastportfolio",
+    "PortfolioDecomposition": "repro.engine.fastportfolio",
+    "PortfolioEngine": "repro.engine.fastportfolio",
+    "default_portfolio_engine": "repro.engine.fastportfolio",
 }
 
 __all__ = sorted(_EXPORTS)

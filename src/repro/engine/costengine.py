@@ -366,10 +366,13 @@ class CostEngine:
         integration,
         d2d_fraction: "float | object" = 0.10,
         soc_for_one: bool = True,
+        die_cost_fn=None,
     ) -> Sweep:
         """RE cost across partition granularities without building
         systems (``repro.engine.fastsweep``); count 1 prices the
-        monolithic SoC reference unless ``soc_for_one`` is false."""
+        monolithic SoC reference unless ``soc_for_one`` is false.
+        ``die_cost_fn`` optionally replaces the engine's die pricing
+        (custom yield models / wafer geometries)."""
         from repro.d2d.overhead import FractionOverhead
         from repro.engine.fastsweep import partition_re_cost, soc_re_cost
 
@@ -377,11 +380,12 @@ class CostEngine:
             raise InvalidParameterError("sweep needs at least one value")
         if not isinstance(d2d_fraction, FractionOverhead):
             d2d_fraction = FractionOverhead(d2d_fraction)
+        price_die = die_cost_fn if die_cost_fn is not None else self._die_cost_for
         points = tuple(
             SweepPoint(
                 x=count,
                 value=(
-                    soc_re_cost(module_area, node, die_cost_fn=self._die_cost_for)
+                    soc_re_cost(module_area, node, die_cost_fn=price_die)
                     if soc_for_one and count == 1
                     else partition_re_cost(
                         module_area,
@@ -389,7 +393,7 @@ class CostEngine:
                         count,
                         integration,
                         d2d_fraction,
-                        die_cost_fn=self._die_cost_for,
+                        die_cost_fn=price_die,
                     )
                 ),
             )
@@ -406,6 +410,7 @@ class CostEngine:
         integration,
         d2d_fraction: "float | object" = 0.10,
         soc_for_one: bool = False,
+        die_cost_fn=None,
     ) -> GridResult:
         """Closed-form areas x counts partition grid of RE costs."""
         from repro.d2d.overhead import FractionOverhead
@@ -415,12 +420,13 @@ class CostEngine:
             raise InvalidParameterError("grid needs at least one row and column")
         if not isinstance(d2d_fraction, FractionOverhead):
             d2d_fraction = FractionOverhead(d2d_fraction)
+        price_die = die_cost_fn if die_cost_fn is not None else self._die_cost_for
         points = tuple(
             GridPoint(
                 row=area,
                 col=count,
                 value=(
-                    soc_re_cost(area, node, die_cost_fn=self._die_cost_for)
+                    soc_re_cost(area, node, die_cost_fn=price_die)
                     if soc_for_one and count == 1
                     else partition_re_cost(
                         area,
@@ -428,7 +434,7 @@ class CostEngine:
                         count,
                         integration,
                         d2d_fraction,
-                        die_cost_fn=self._die_cost_for,
+                        die_cost_fn=price_die,
                     )
                 ),
             )

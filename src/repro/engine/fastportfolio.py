@@ -1,0 +1,327 @@
+"""Batched reuse-portfolio evaluation.
+
+The SCMS / OCME / FSMC studies (paper Figs. 8-10) price dozens to
+hundreds of systems whose per-unit cost is
+
+    total(s) = RE(s) + sum over designs d in s of NRE(d) / units(d)
+
+where ``units(d)`` folds the quantities of every system containing the
+design.  The :class:`~repro.reuse.portfolio.Portfolio` oracle walks the
+object graph for every call; a volume sweep additionally rebuilds the
+whole study per point even though *only the denominators change*.
+
+:class:`PortfolioEngine` decomposes a portfolio once into
+
+* memoized per-system RE costs, priced through the shared
+  :class:`~repro.engine.costengine.CostEngine` (die-cost cache plus
+  affine packaging decomposition), and
+* shared design-unit NRE vectors — each design's NRE with the ordered
+  per-system quantities contributing to its amortization denominator —
+
+after which any member's amortized cost, the portfolio average, and
+entire sweeps over a volume scale are pure float arithmetic.  Results
+are bit-identical to the oracle (``tests/test_fastportfolio.py`` holds
+them ``==`` across all three paper studies): the engine reuses the
+portfolio's own design-unit tables and per-system key ordering
+(:meth:`Portfolio.system_design_keys`), and scaled denominators re-fold
+``quantity * scale`` in the collection order a rebuilt portfolio would
+use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.breakdown import NRECost, RECost, TotalCost
+from repro.core.system import System
+from repro.engine.costengine import CostEngine, default_engine
+from repro.errors import InvalidParameterError
+from repro.explore.sweep import Sweep, SweepPoint
+from repro.reuse.keys import package_design_key
+from repro.reuse.portfolio import Portfolio, _DesignUnit
+
+#: Decomposition entries kept per engine before a full reset.
+_DECOMPOSITION_CACHE_MAXSIZE = 1024
+
+
+def _scaled_units(unit: _DesignUnit, scale: float) -> float:
+    """The design's amortization denominator at a volume scale.
+
+    Folds ``quantity * scale`` left-to-right from 0.0 — the exact
+    accumulation a portfolio rebuilt with scaled quantities performs —
+    so sweep points stay bit-identical to the rebuilt oracle.
+    """
+    if scale == 1.0:
+        return unit.total_units
+    total = 0.0
+    for quantity in unit.quantities:
+        total += quantity * scale
+    return total
+
+
+@dataclass(frozen=True)
+class PortfolioCosts:
+    """All member costs of one portfolio at one volume scale.
+
+    Attributes:
+        portfolio: The evaluated portfolio.
+        volume_scale: Multiplier applied to every system quantity.
+        costs: Per-system :class:`TotalCost`, aligned with
+            ``portfolio.systems``.
+        average: Quantity-weighted average per-unit total cost.
+    """
+
+    portfolio: Portfolio
+    volume_scale: float
+    costs: tuple[TotalCost, ...]
+    average: float
+
+    def cost(self, system: "System | str") -> TotalCost:
+        """The cost of one member, by object or by system name."""
+        for member, cost in zip(self.portfolio.systems, self.costs):
+            if member is system or member.name == system:
+                return cost
+        name = system if isinstance(system, str) else system.name
+        raise InvalidParameterError(
+            f"system {name!r} is not part of this portfolio"
+        )
+
+    def totals(self) -> tuple[float, ...]:
+        """Per-system total USD/unit, aligned with ``portfolio.systems``."""
+        return tuple(cost.total for cost in self.costs)
+
+
+class PortfolioDecomposition:
+    """One portfolio reduced to NRE vectors plus memoized RE costs."""
+
+    def __init__(self, portfolio: Portfolio, engine: CostEngine):
+        self.portfolio = portfolio
+        systems = portfolio.systems
+        #: Per-system RE cost through the batch engine's caches
+        #: (bit-identical to ``compute_re_cost``).
+        self.re: tuple[RECost, ...] = tuple(
+            engine.evaluate_re(system) for system in systems
+        )
+        #: Per-system design-key tuples, in the oracle's summation order.
+        self.keys = tuple(
+            portfolio.system_design_keys(system) for system in systems
+        )
+        #: Package NRE of systems that own their package (else None).
+        self.own_package_nre: tuple[float | None, ...] = tuple(
+            None
+            if system.package is not None
+            else system.integration.package_nre(system.chip_areas)
+            for system in systems
+        )
+        #: Shared-package design-unit key per system (else None).
+        self.package_keys = tuple(
+            package_design_key(system.package)
+            if system.package is not None
+            else None
+            for system in systems
+        )
+
+    # ------------------------------------------------------------------
+
+    def _share_maps(self, volume_scale: float) -> tuple[dict, ...]:
+        """Per-design amortized shares (NRE / denominator) at a scale.
+
+        Computed once per ``evaluate`` call, so a design shared by many
+        systems — the whole point of a reuse portfolio — divides once,
+        not once per member.
+        """
+        return tuple(
+            {
+                key: unit.nre / _scaled_units(unit, volume_scale)
+                for key, unit in units.items()
+            }
+            for units in (
+                self.portfolio._module_units,
+                self.portfolio._chip_units,
+                self.portfolio._d2d_units,
+                self.portfolio._package_units,
+            )
+        )
+
+    def amortized_nre(
+        self,
+        index: int,
+        volume_scale: float = 1.0,
+        _shares: "tuple[dict, ...] | None" = None,
+    ) -> NRECost:
+        """Per-unit NRE share of system ``index`` at a volume scale."""
+        module_shares, chip_shares, d2d_shares, package_shares = (
+            _shares if _shares is not None else self._share_maps(volume_scale)
+        )
+        keys = self.keys[index]
+        modules = sum(module_shares[key] for key in keys.modules)
+        chips = sum(chip_shares[key] for key in keys.chips)
+        d2d = sum(d2d_shares[key] for key in keys.d2d)
+
+        package_key = self.package_keys[index]
+        if package_key is not None:
+            packages = package_shares[package_key]
+        else:
+            quantity = self.portfolio.systems[index].quantity
+            if volume_scale != 1.0:
+                quantity = quantity * volume_scale
+            packages = self.own_package_nre[index] / quantity
+        return NRECost(modules=modules, chips=chips, packages=packages, d2d=d2d)
+
+    def total_cost(
+        self,
+        index: int,
+        volume_scale: float = 1.0,
+        _shares: "tuple[dict, ...] | None" = None,
+    ) -> TotalCost:
+        """Per-unit total cost of system ``index`` at a volume scale."""
+        quantity = self.portfolio.systems[index].quantity
+        if volume_scale != 1.0:
+            quantity = quantity * volume_scale
+        return TotalCost(
+            re=self.re[index],
+            amortized_nre=self.amortized_nre(index, volume_scale, _shares),
+            quantity=quantity,
+        )
+
+    def evaluate(self, volume_scale: float = 1.0) -> PortfolioCosts:
+        """Every member's cost plus the quantity-weighted average."""
+        if not (volume_scale > 0):
+            raise InvalidParameterError(
+                f"volume scale must be > 0, got {volume_scale}"
+            )
+        shares = self._share_maps(volume_scale)
+        costs = tuple(
+            self.total_cost(index, volume_scale, shares)
+            for index in range(len(self.portfolio.systems))
+        )
+        # Same fold as Portfolio.average_cost over scaled quantities.
+        spend = sum(
+            cost.total * cost.quantity for cost in costs
+        )
+        total_quantity = sum(cost.quantity for cost in costs)
+        return PortfolioCosts(
+            portfolio=self.portfolio,
+            volume_scale=volume_scale,
+            costs=costs,
+            average=spend / total_quantity,
+        )
+
+
+class PortfolioEngine:
+    """Batched portfolio evaluation with shared memoization.
+
+    Args:
+        engine: The :class:`CostEngine` RE evaluations route through
+            (default: the process-wide engine, sharing its warm caches).
+    """
+
+    def __init__(self, engine: CostEngine | None = None):
+        self.engine = engine if engine is not None else default_engine()
+        # Identity-keyed (with `is`-verified entries, like the engine's
+        # hot caches): portfolios are eq-by-identity objects.
+        self._decompositions: dict[int, tuple[Portfolio, PortfolioDecomposition]] = {}
+
+    # ------------------------------------------------------------------
+
+    def decompose(self, portfolio: Portfolio) -> PortfolioDecomposition:
+        """The (cached) decomposition of ``portfolio``."""
+        key = id(portfolio)
+        entry = self._decompositions.get(key)
+        if entry is not None and entry[0] is portfolio:
+            return entry[1]
+        decomposition = PortfolioDecomposition(portfolio, self.engine)
+        if len(self._decompositions) >= _DECOMPOSITION_CACHE_MAXSIZE:
+            self._decompositions.clear()
+        self._decompositions[key] = (portfolio, decomposition)
+        return decomposition
+
+    def evaluate(
+        self, portfolio: Portfolio, volume_scale: float = 1.0
+    ) -> PortfolioCosts:
+        """Price every member of ``portfolio`` in one batched call."""
+        return self.decompose(portfolio).evaluate(volume_scale)
+
+    def amortized_cost(self, portfolio: Portfolio, system: System) -> TotalCost:
+        """Drop-in for :meth:`Portfolio.amortized_cost` (bit-identical)."""
+        for index, member in enumerate(portfolio.systems):
+            if member is system:
+                return self.decompose(portfolio).total_cost(index)
+        raise InvalidParameterError(
+            f"system {system.name!r} is not part of this portfolio"
+        )
+
+    def average_cost(
+        self, portfolio: Portfolio, volume_scale: float = 1.0
+    ) -> float:
+        """Drop-in for :meth:`Portfolio.average_cost`, with volume scaling."""
+        return self.evaluate(portfolio, volume_scale).average
+
+    def volume_sweep(
+        self,
+        name: str,
+        portfolio: Portfolio,
+        scales: Sequence[float],
+    ) -> Sweep:
+        """Closed-form sweep over volume scales.
+
+        Each point carries the full :class:`PortfolioCosts` at that
+        scale; only amortization denominators are recomputed — RE costs
+        and NRE vectors are shared across every point.
+        """
+        if not scales:
+            raise InvalidParameterError("sweep needs at least one value")
+        decomposition = self.decompose(portfolio)
+        points = tuple(
+            SweepPoint(x=scale, value=decomposition.evaluate(scale))
+            for scale in scales
+        )
+        return Sweep(name=name, points=points)
+
+    # ------------------------------------------------------------------
+    # study-level conveniences (SCMS / OCME / FSMC)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def study_portfolios(study: object) -> dict[str, Portfolio]:
+        """The named portfolios of an SCMS/OCME/FSMC study dataclass."""
+        if not dataclasses.is_dataclass(study):
+            raise InvalidParameterError(
+                f"expected a reuse-study dataclass, got {type(study).__name__}"
+            )
+        portfolios = {
+            spec_field.name: getattr(study, spec_field.name)
+            for spec_field in dataclasses.fields(study)
+            if isinstance(getattr(study, spec_field.name), Portfolio)
+        }
+        if not portfolios:
+            raise InvalidParameterError(
+                f"{type(study).__name__} holds no portfolios"
+            )
+        return portfolios
+
+    def evaluate_study(
+        self, study: object, volume_scale: float = 1.0
+    ) -> Mapping[str, PortfolioCosts]:
+        """Price every portfolio of a reuse study in one batched pass."""
+        return {
+            name: self.evaluate(portfolio, volume_scale)
+            for name, portfolio in self.study_portfolios(study).items()
+        }
+
+    def clear_caches(self) -> None:
+        """Drop cached decompositions (the cost engine keeps its own)."""
+        self._decompositions.clear()
+
+
+_default_portfolio_engine: PortfolioEngine | None = None
+
+
+def default_portfolio_engine() -> PortfolioEngine:
+    """The process-wide portfolio engine over :func:`default_engine`."""
+    global _default_portfolio_engine
+    if _default_portfolio_engine is None:
+        _default_portfolio_engine = PortfolioEngine()
+    return _default_portfolio_engine

@@ -131,7 +131,15 @@ def render_fig6(result: Fig6Result) -> str:
     return table.render()
 
 
-def _reuse_table(title: str, rows: list[tuple[str, str, object, object]]) -> str:
+def reuse_table(
+    title: str, rows: list[tuple[str, str, object, object]]
+) -> Table:
+    """The figure-style reuse breakdown table.
+
+    ``rows`` are (system label, variant, RECost, NRECost) — absolute or
+    normalized; figures 8/9 and the scenario ``reuse`` study's
+    normalized rendering share this layout.
+    """
     table = Table(
         ["system", "variant", "RE", "NRE modules", "NRE chips",
          "NRE packages", "NRE D2D", "total"],
@@ -151,7 +159,11 @@ def _reuse_table(title: str, rows: list[tuple[str, str, object, object]]) -> str
                 re.total + nre.total,
             ]
         )
-    return table.render()
+    return table
+
+
+def _reuse_table(title: str, rows: list[tuple[str, str, object, object]]) -> str:
+    return reuse_table(title, rows).render()
 
 
 def render_fig8(result: Fig8Result) -> str:

@@ -1,11 +1,11 @@
 """Named, user-extensible registries for the model's technologies.
 
-Three registries — process nodes, integration technologies and D2D
-interfaces — unify the previously hard-wired factory call sites behind
-name-based lookup with declarative (JSON-ready) custom entries.  Each
-global registry can spawn scoped child layers, which is how scenario
-and config documents introduce per-document technologies without
-mutating process-wide state.
+Five registries — process nodes, integration technologies, D2D
+interfaces, yield models and wafer geometries — unify the previously
+hard-wired factory call sites behind name-based lookup with declarative
+(JSON-ready) custom entries.  Each global registry can spawn scoped
+child layers, which is how scenario and config documents introduce
+per-document technologies without mutating process-wide state.
 """
 
 from repro.registry.core import Registry, singleton
@@ -15,6 +15,14 @@ from repro.registry.d2d import (
     d2d_registry,
     d2d_to_spec,
     register_d2d,
+)
+from repro.registry.geometries import (
+    GEOMETRY_FIELDS,
+    WaferGeometryRegistry,
+    register_wafer_geometry,
+    wafer_geometry_from_spec,
+    wafer_geometry_registry,
+    wafer_geometry_to_spec,
 )
 from repro.registry.nodes import (
     NODE_FIELDS,
@@ -32,6 +40,14 @@ from repro.registry.technologies import (
     technology_from_spec,
     technology_registry,
     technology_to_spec,
+)
+from repro.registry.yieldmodels import (
+    YieldModelEntry,
+    YieldModelRegistry,
+    register_yield_model,
+    yield_model_from_spec,
+    yield_model_registry,
+    yield_model_to_spec,
 )
 
 __all__ = [
@@ -55,4 +71,16 @@ __all__ = [
     "d2d_registry",
     "d2d_to_spec",
     "register_d2d",
+    "YieldModelEntry",
+    "YieldModelRegistry",
+    "register_yield_model",
+    "yield_model_from_spec",
+    "yield_model_registry",
+    "yield_model_to_spec",
+    "GEOMETRY_FIELDS",
+    "WaferGeometryRegistry",
+    "register_wafer_geometry",
+    "wafer_geometry_from_spec",
+    "wafer_geometry_registry",
+    "wafer_geometry_to_spec",
 ]

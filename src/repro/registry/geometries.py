@@ -1,0 +1,112 @@
+"""Wafer-geometry registry: named wafer formats and dicing settings.
+
+The cost model defaults to the paper's idealized geometry (the node's
+wafer diameter, no edge exclusion, no scribe).  This registry names
+alternative :class:`~repro.wafer.geometry.WaferGeometry` settings so
+config schema v2 and scenario documents can select one declaratively::
+
+    {"diameter": 300.0, "edge_exclusion": 3.0, "scribe_width": 0.1}
+    {"base": "300mm", "edge_exclusion": 3.0}      # derived
+
+The global registry is seeded with the standard wafer formats; scoped
+child layers work exactly like the node / technology / D2D registries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.errors import RegistryError
+from repro.registry.core import Registry, singleton
+from repro.wafer.geometry import WaferGeometry
+
+#: WaferGeometry constructor fields accepted in specs.
+GEOMETRY_FIELDS: tuple[str, ...] = tuple(
+    spec_field.name for spec_field in dataclasses.fields(WaferGeometry)
+)
+
+
+class WaferGeometryRegistry(Registry[WaferGeometry]):
+    """Registry of :class:`WaferGeometry` objects."""
+
+    def __init__(
+        self,
+        kind: str = "wafer geometry",
+        parent: "WaferGeometryRegistry | None" = None,
+    ):
+        super().__init__(kind=kind, parent=parent)
+
+    def register_spec(
+        self, name: str, spec: Mapping[str, Any], overwrite: bool = False
+    ) -> WaferGeometry:
+        """Build a geometry from a declarative spec and register it."""
+        return self.register(
+            name,
+            wafer_geometry_from_spec(spec, registry=self, name=name),
+            overwrite=overwrite,
+        )
+
+
+def wafer_geometry_from_spec(
+    spec: Mapping[str, Any],
+    registry: WaferGeometryRegistry | None = None,
+    name: str | None = None,
+) -> WaferGeometry:
+    """Build a :class:`WaferGeometry` from a declarative spec.
+
+    ``{"base": <name>, **overrides}`` derives from a registered
+    geometry; otherwise the spec must carry at least ``diameter``.
+    """
+    if not isinstance(spec, Mapping):
+        raise RegistryError(
+            f"wafer-geometry spec must be a mapping, got {type(spec).__name__}"
+        )
+    payload = dict(spec)
+    payload.pop("description", None)
+    base_ref = payload.pop("base", None)
+    unknown = sorted(set(payload) - set(GEOMETRY_FIELDS))
+    if unknown:
+        raise RegistryError(
+            f"wafer-geometry spec {name or '<anonymous>'!r}: unknown fields "
+            f"{unknown}",
+            available=sorted(GEOMETRY_FIELDS),
+        )
+    if base_ref is not None:
+        base = (registry or wafer_geometry_registry()).get(str(base_ref))
+        return dataclasses.replace(base, **payload)
+    if "diameter" not in payload:
+        raise RegistryError(
+            f"wafer-geometry spec {name or '<anonymous>'!r}: missing "
+            "'diameter' (or use a 'base' geometry to derive from)"
+        )
+    return WaferGeometry(**payload)
+
+
+def wafer_geometry_to_spec(geometry: WaferGeometry) -> dict[str, Any]:
+    """Fully-specified, JSON-ready spec reconstructing ``geometry``."""
+    return {
+        spec_field: getattr(geometry, spec_field)
+        for spec_field in GEOMETRY_FIELDS
+    }
+
+
+@singleton
+def wafer_geometry_registry() -> WaferGeometryRegistry:
+    """The process-wide registry, seeded with the standard formats."""
+    registry = WaferGeometryRegistry()
+    for name, diameter in (("200mm", 200.0), ("300mm", 300.0), ("450mm", 450.0)):
+        registry.register(name, WaferGeometry(diameter=diameter))
+    return registry
+
+
+def register_wafer_geometry(
+    name: str,
+    geometry: "WaferGeometry | Mapping[str, Any]",
+    overwrite: bool = False,
+) -> WaferGeometry:
+    """Register a custom wafer geometry (object or spec) globally."""
+    registry = wafer_geometry_registry()
+    if isinstance(geometry, WaferGeometry):
+        return registry.register(name, geometry, overwrite=overwrite)
+    return registry.register_spec(name, geometry, overwrite=overwrite)

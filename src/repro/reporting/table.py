@@ -37,14 +37,25 @@ class Table:
         self.title = title
         self.precision = precision
         self.rows: list[list[str]] = []
+        self._raw_rows: list[list[object]] = []
 
     def add_row(self, values: Iterable[object]) -> None:
-        row = [_format_cell(value, self.precision) for value in values]
+        raw = list(values)
+        row = [_format_cell(value, self.precision) for value in raw]
         if len(row) != len(self.headers):
             raise InvalidParameterError(
                 f"row has {len(row)} cells, table has {len(self.headers)} columns"
             )
         self.rows.append(row)
+        self._raw_rows.append(raw)
+
+    def records(self) -> list[dict[str, object]]:
+        """Rows as header-keyed dicts with the *unformatted* values.
+
+        The structured counterpart of :meth:`render`; the scenario
+        output sinks serialize these to CSV/JSON.
+        """
+        return [dict(zip(self.headers, raw)) for raw in self._raw_rows]
 
     def render(self) -> str:
         widths = [len(header) for header in self.headers]

@@ -33,6 +33,12 @@ from repro.scenario.runner import (
     StudyResult,
     run_scenario,
 )
+from repro.scenario.sinks import (
+    SINK_FORMATS,
+    SinkSpec,
+    sink_from_mapping,
+    write_sinks,
+)
 
 __all__ = [
     "FIGURE_IDS",
@@ -57,4 +63,8 @@ __all__ = [
     "ScenarioResult",
     "StudyResult",
     "run_scenario",
+    "SINK_FORMATS",
+    "SinkSpec",
+    "sink_from_mapping",
+    "write_sinks",
 ]

@@ -38,12 +38,19 @@ from repro.scenario.spec import (
 
 @dataclass(frozen=True)
 class StudyResult:
-    """One executed study: structured data plus rendered text."""
+    """One executed study: structured data plus rendered text.
+
+    ``rows`` are header-keyed record dicts (the structured counterpart
+    of the rendered tables) consumed by the output sinks
+    (``repro.scenario.sinks``); figure studies render text only and
+    carry no rows.
+    """
 
     name: str
     kind: str
     data: Any
     text: str
+    rows: tuple[Mapping[str, Any], ...] = ()
 
     def render(self) -> str:
         return self.text
@@ -80,6 +87,10 @@ class ScenarioRunner:
 
     def __init__(self, engine: CostEngine | None = None):
         self.engine = engine if engine is not None else default_engine()
+        from repro.engine.fastportfolio import PortfolioEngine
+
+        #: Reuse studies route through this batched portfolio engine.
+        self.portfolio_engine = PortfolioEngine(self.engine)
 
     # ------------------------------------------------------------------
 
@@ -92,6 +103,8 @@ class ScenarioRunner:
                 "nodes": dict(spec.nodes),
                 "technologies": dict(spec.technologies),
                 "d2d_interfaces": dict(spec.d2d_interfaces),
+                "yield_models": dict(spec.yield_models),
+                "wafer_geometries": dict(spec.wafer_geometries),
             }
         )
         results = tuple(
@@ -110,8 +123,12 @@ class ScenarioRunner:
             raise ConfigError(
                 f"no executor for study kind {getattr(study, 'kind', study)!r}"
             ) from None
-        data, text = executor(self, study, registries)
-        return StudyResult(name=study.name, kind=study.kind, data=data, text=text)
+        outcome = executor(self, study, registries)
+        data, text = outcome[0], outcome[1]
+        rows = tuple(outcome[2]) if len(outcome) > 2 else ()
+        return StudyResult(
+            name=study.name, kind=study.kind, data=data, text=text, rows=rows
+        )
 
     # ------------------------------------------------------------------
     # shared resolution helpers
@@ -153,6 +170,53 @@ class ScenarioRunner:
             d2d_fraction=study.d2d_fraction,
             quantity=quantity,
         )
+
+    def _die_cost_override(self, registries: ConfigRegistries, study: Any):
+        """Die pricing honoring a study's named yield model / geometry.
+
+        Returns ``None`` when the study keeps the defaults, so the
+        engine's identity-keyed hot cache stays in play.
+        """
+        model_name = getattr(study, "yield_model", "")
+        geometry_name = getattr(study, "wafer_geometry", "")
+        if not model_name and not geometry_name:
+            return None
+        from repro.wafer.die import DieSpec
+        from repro.wafer.diecache import cached_die_cost
+
+        try:
+            entry = (
+                registries.yield_models.get(model_name) if model_name else None
+            )
+            geometry = (
+                registries.geometries.get(geometry_name)
+                if geometry_name
+                else None
+            )
+        except RegistryError as error:
+            raise ConfigError(f"{study.name}: {error}") from None
+
+        # One bound model per node object (a study prices a fixed node
+        # set, so binding once beats re-constructing per die).
+        models: dict[int, tuple] = {}
+
+        def model_for(node: ProcessNode):
+            if entry is None:
+                return None
+            cached = models.get(id(node))
+            if cached is not None and cached[0] is node:
+                return cached[1]
+            model = entry.for_node(node)
+            models[id(node)] = (node, model)
+            return model
+
+        def die_cost_fn(node: ProcessNode, area: float):
+            return cached_die_cost(
+                DieSpec(area=area, node=node, geometry=geometry),
+                model_for(node),
+            )
+
+        return die_cost_fn
 
 
 # ----------------------------------------------------------------------
@@ -299,7 +363,11 @@ def _run_systems(
                    re_cost.total)
         rows.append(row)
         table.add_row([row[0], f"{row[1]:.0f}", row[2], row[3], row[4]])
-    return {"portfolio": portfolio, "rows": rows}, table.render()
+    return (
+        {"portfolio": portfolio, "rows": rows},
+        table.render(),
+        table.records(),
+    )
 
 
 # -- closed-form partition studies ------------------------------------
@@ -320,6 +388,7 @@ def _run_partition_sweep(
         list(study.chiplet_counts),
         technology,
         d2d_fraction=study.d2d_fraction,
+        die_cost_fn=runner._die_cost_override(registries, study),
     )
     table = Table(
         ["chiplets", "raw chips", "chip defects", "packaging", "RE total"],
@@ -333,7 +402,7 @@ def _run_partition_sweep(
             [point.x, point.value.raw_chips, point.value.chip_defects,
              point.value.packaging_total, point.value.total]
         )
-    return sweep, table.render()
+    return sweep, table.render(), table.records()
 
 
 @_executor("partition_grid")
@@ -352,6 +421,7 @@ def _run_partition_grid(
         technology,
         d2d_fraction=study.d2d_fraction,
         soc_for_one=study.soc_for_one,
+        die_cost_fn=runner._die_cost_override(registries, study),
     )
     table = Table(
         ["area_mm2"] + [f"n={count}" for count in study.chiplet_counts],
@@ -364,7 +434,7 @@ def _run_partition_grid(
             [area]
             + [grid.value(area, count).total for count in study.chiplet_counts]
         )
-    return grid, table.render()
+    return grid, table.render(), table.records()
 
 
 # -- uncertainty / exploration ----------------------------------------
@@ -395,7 +465,7 @@ def _run_montecarlo(
     table.add_row(["std", distribution.std])
     for q in (0.05, 0.25, 0.50, 0.75, 0.95):
         table.add_row([f"p{int(q * 100):02d}", distribution.quantile(q)])
-    return distribution, table.render()
+    return distribution, table.render(), table.records()
 
 
 @_executor("pareto")
@@ -433,7 +503,7 @@ def _run_pareto(
              point.package_footprint,
              "*" if id(point) in on_frontier else ""]
         )
-    return {"points": points, "frontier": frontier}, table.render()
+    return {"points": points, "frontier": frontier}, table.render(), table.records()
 
 
 @_executor("sensitivity")
@@ -491,29 +561,38 @@ def _run_sensitivity(
             [result.parameter, result.low, result.base, result.high,
              result.swing, 100.0 * result.relative_swing]
         )
-    return results, table.render()
+    return results, table.render(), table.records()
 
 
 # -- reuse portfolios --------------------------------------------------
 
 
-def _portfolio_table(title: str, portfolios: dict[str, Any], labels: list[str]) -> str:
-    table = Table(
-        ["system"] + list(portfolios), title=title
-    )
+def _portfolio_table(
+    title: str, costs: dict[str, Any], labels: list[str]
+) -> Table:
+    table = Table(["system"] + list(costs), title=title)
     for index, label in enumerate(labels):
         row: list[Any] = [label]
-        for portfolio in portfolios.values():
-            system = portfolio.systems[index]
-            row.append(portfolio.amortized_cost(system).total)
+        for portfolio_costs in costs.values():
+            row.append(portfolio_costs.costs[index].total)
         table.add_row(row)
-    return table.render()
+    return table
 
 
 @_executor("reuse")
 def _run_reuse(
     runner: ScenarioRunner, study: ReuseStudy, registries: ConfigRegistries
-) -> tuple[Any, str]:
+) -> tuple[Any, str, tuple]:
+    """A reuse study, priced in one batched pass per portfolio.
+
+    Routed through :class:`~repro.engine.fastportfolio.PortfolioEngine`
+    (bit-identical to the ``repro.reuse`` oracle); renders the absolute
+    per-unit table plus the figure-style *normalized* breakdown —
+    normalized, like Figs. 8/9, to the RE cost of the largest
+    plain-technology system (SCMS/OCME), or, like Fig. 10, to the
+    quantity-weighted average SoC RE cost (FSMC).
+    """
+    from repro.experiments.printers import reuse_table
     from repro.reuse.fsmc import FSMCConfig, build_fsmc
     from repro.reuse.ocme import OCMEConfig, build_ocme
     from repro.reuse.scms import SCMSConfig, build_scms
@@ -548,11 +627,66 @@ def _run_reuse(
         labels = [system.name for system in built.multichip.systems]
         portfolios = {"SoC": built.soc, technology.label: built.multichip}
 
-    title = (
+    engine = runner.portfolio_engine
+    costs = {
+        variant: engine.evaluate(portfolio)
+        for variant, portfolio in portfolios.items()
+    }
+
+    # Figure-style normalizer (Figs. 8/9: largest plain-tech RE;
+    # Fig. 10: quantity-weighted average SoC RE).
+    if study.scheme == "fsmc":
+        soc_costs = costs["SoC"]
+        reference = sum(
+            cost.re.total * system.quantity
+            for system, cost in zip(built.soc.systems, soc_costs.costs)
+        ) / built.soc.total_quantity
+        reference_label = "average SoC RE"
+    else:
+        plain_variant = list(portfolios)[1]
+        reference = costs[plain_variant].costs[-1].re.total
+        reference_label = f"RE of the largest {plain_variant} system"
+
+    absolute = _portfolio_table(
         f"Reuse study ({study.scheme.upper()}, {technology.label}): "
-        "amortized total USD/unit"
+        "amortized total USD/unit",
+        costs,
+        labels,
     )
-    return built, _portfolio_table(title, portfolios, labels)
+    normalized_rows = []
+    sink_rows: list[dict[str, Any]] = []
+    for variant, portfolio_costs in costs.items():
+        for label, system, cost in zip(
+            labels, portfolio_costs.portfolio.systems, portfolio_costs.costs
+        ):
+            re_norm = cost.re.normalized_to(reference)
+            nre_norm = cost.amortized_nre.scaled(1.0 / reference)
+            normalized_rows.append((label, variant, re_norm, nre_norm))
+            sink_rows.append(
+                {
+                    "system": label,
+                    "variant": variant,
+                    "quantity": system.quantity,
+                    "re": cost.re.total,
+                    "nre_modules": cost.amortized_nre.modules,
+                    "nre_chips": cost.amortized_nre.chips,
+                    "nre_packages": cost.amortized_nre.packages,
+                    "nre_d2d": cost.amortized_nre.d2d,
+                    "total": cost.total,
+                    "normalized_total": re_norm.total + nre_norm.total,
+                }
+            )
+    normalized = reuse_table(
+        f"Reuse study ({study.scheme.upper()}, {technology.label}): "
+        f"normalized to the {reference_label}",
+        normalized_rows,
+    )
+    text = absolute.render() + "\n\n" + normalized.render()
+    return (
+        {"study": built, "costs": costs, "reference": reference},
+        text,
+        tuple(sink_rows),
+    )
 
 
 def run_scenario(

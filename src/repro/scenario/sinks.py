@@ -1,0 +1,139 @@
+"""Scenario output sinks: per-study CSV/JSON export.
+
+Every executed study carries structured ``rows`` (header-keyed dicts)
+beside its rendered text; a :class:`SinkSpec` — from the scenario
+document's ``sinks`` section or the CLI's ``--sink-dir`` /
+``--sink-format`` flags — tells :func:`write_sinks` where to serialize
+them.  One file per study and format::
+
+    <directory>/<scenario>__<study>.csv    # rows only (skipped if none)
+    <directory>/<scenario>__<study>.json   # rows + rendered text
+
+File names are sanitized to a portable character set; the directory is
+created on demand.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario.runner import ScenarioResult, StudyResult
+
+#: Formats a sink may emit.
+SINK_FORMATS = ("csv", "json")
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """Where and how scenario study results are exported.
+
+    Attributes:
+        directory: Output directory (created on demand).
+        formats: Subset of :data:`SINK_FORMATS` to emit.
+    """
+
+    directory: str
+    formats: tuple[str, ...] = SINK_FORMATS
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ConfigError("sink spec needs an output directory")
+        if not self.formats:
+            raise ConfigError("sink spec needs at least one format")
+        unknown = sorted(set(self.formats) - set(SINK_FORMATS))
+        if unknown:
+            raise ConfigError(
+                f"sink spec: unknown formats {unknown} "
+                f"(known: {list(SINK_FORMATS)})"
+            )
+
+
+def sink_from_mapping(payload: Mapping[str, Any]) -> SinkSpec:
+    """Build a :class:`SinkSpec` from a scenario document's ``sinks``."""
+    if not isinstance(payload, Mapping):
+        raise ConfigError("'sinks' section must be a mapping")
+    unknown = sorted(set(payload) - {"directory", "formats"})
+    if unknown:
+        raise ConfigError(f"'sinks' section: unknown keys {unknown}")
+    formats = payload.get("formats", list(SINK_FORMATS))
+    if isinstance(formats, str):
+        formats = [formats]
+    return SinkSpec(
+        directory=str(payload.get("directory", "")),
+        formats=tuple(str(fmt) for fmt in formats),
+    )
+
+
+def _safe_name(name: str) -> str:
+    """A portable file-name fragment for a scenario/study name."""
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-")
+    return cleaned or "unnamed"
+
+
+def _csv_value(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_study_csv(path: str, study: "StudyResult") -> None:
+    """Write one study's rows as CSV (caller skips row-less studies)."""
+    headers: list[str] = []
+    for row in study.rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        for row in study.rows:
+            writer.writerow({key: _csv_value(row.get(key)) for key in headers})
+
+
+def write_study_json(path: str, scenario: str, study: "StudyResult") -> None:
+    """Write one study's rows plus rendered text as JSON."""
+    payload = {
+        "scenario": scenario,
+        "study": study.name,
+        "kind": study.kind,
+        "rows": [
+            {key: _csv_value(value) for key, value in row.items()}
+            for row in study.rows
+        ],
+        "text": study.text,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def write_sinks(result: "ScenarioResult", sink: SinkSpec) -> list[str]:
+    """Export every study of ``result`` per ``sink``; returns the paths.
+
+    CSV files are only written for studies with structured rows (figure
+    studies export their rendered text via JSON only).
+    """
+    os.makedirs(sink.directory, exist_ok=True)
+    scenario_name = _safe_name(result.scenario)
+    written: list[str] = []
+    for study in result.results:
+        stem = os.path.join(
+            sink.directory, f"{scenario_name}__{_safe_name(study.name)}"
+        )
+        if "csv" in sink.formats and study.rows:
+            path = f"{stem}.csv"
+            write_study_csv(path, study)
+            written.append(path)
+        if "json" in sink.formats:
+            path = f"{stem}.json"
+            write_study_json(path, result.scenario, study)
+            written.append(path)
+    return written

@@ -98,7 +98,12 @@ class SystemsStudy:
 @register_study_type
 @dataclass(frozen=True)
 class PartitionSweepStudy:
-    """RE cost across partition granularities (closed-form engine path)."""
+    """RE cost across partition granularities (closed-form engine path).
+
+    ``yield_model`` / ``wafer_geometry`` optionally name registry
+    entries (built-in or declared in the scenario's sections) replacing
+    the node-default negative binomial and the idealized wafer.
+    """
 
     kind = "partition_sweep"
     name: str
@@ -107,6 +112,8 @@ class PartitionSweepStudy:
     technology: str
     chiplet_counts: tuple[int, ...] = (1, 2, 3, 4, 5)
     d2d_fraction: float = 0.10
+    yield_model: str = ""
+    wafer_geometry: str = ""
 
 
 @register_study_type
@@ -122,6 +129,8 @@ class PartitionGridStudy:
     technology: str
     d2d_fraction: float = 0.10
     soc_for_one: bool = True
+    yield_model: str = ""
+    wafer_geometry: str = ""
 
 
 @register_study_type
@@ -211,6 +220,11 @@ class ScenarioSpec:
         nodes: Custom process-node registry specs, by name.
         technologies: Custom integration-technology specs, by name.
         d2d_interfaces: Custom D2D profile specs, by name.
+        yield_models: Custom yield-model registry specs, by name.
+        wafer_geometries: Custom wafer-geometry specs, by name.
+        sinks: Output-sink settings (``repro.scenario.sinks``):
+            ``{"directory": <dir>, "formats": ["csv", "json"]}``; empty
+            = no automatic export.
         studies: Studies executed in order by the runner.
     """
 
@@ -219,6 +233,9 @@ class ScenarioSpec:
     nodes: Mapping[str, Any] = field(default_factory=dict)
     technologies: Mapping[str, Any] = field(default_factory=dict)
     d2d_interfaces: Mapping[str, Any] = field(default_factory=dict)
+    yield_models: Mapping[str, Any] = field(default_factory=dict)
+    wafer_geometries: Mapping[str, Any] = field(default_factory=dict)
+    sinks: Mapping[str, Any] = field(default_factory=dict)
     studies: tuple[Any, ...] = ()
 
     def __post_init__(self) -> None:
@@ -288,7 +305,10 @@ def scenario_to_dict(spec: ScenarioSpec) -> dict[str, Any]:
     document: dict[str, Any] = {"scenario": spec.name}
     if spec.description:
         document["description"] = spec.description
-    for section in ("nodes", "technologies", "d2d_interfaces"):
+    for section in (
+        "nodes", "technologies", "d2d_interfaces",
+        "yield_models", "wafer_geometries", "sinks",
+    ):
         payload = getattr(spec, section)
         if payload:
             document[section] = _jsonify(payload)
@@ -304,7 +324,8 @@ def scenario_from_dict(document: Mapping[str, Any]) -> ScenarioSpec:
     if not name:
         raise ConfigError("scenario document: missing key 'scenario'")
     known = {"scenario", "name", "description", "nodes", "technologies",
-             "d2d_interfaces", "studies"}
+             "d2d_interfaces", "yield_models", "wafer_geometries", "sinks",
+             "studies"}
     unknown = sorted(set(document) - known)
     if unknown:
         raise ConfigError(f"scenario document: unknown keys {unknown}")
@@ -317,6 +338,9 @@ def scenario_from_dict(document: Mapping[str, Any]) -> ScenarioSpec:
         nodes=dict(document.get("nodes") or {}),
         technologies=dict(document.get("technologies") or {}),
         d2d_interfaces=dict(document.get("d2d_interfaces") or {}),
+        yield_models=dict(document.get("yield_models") or {}),
+        wafer_geometries=dict(document.get("wafer_geometries") or {}),
+        sinks=dict(document.get("sinks") or {}),
         studies=studies,
     )
 

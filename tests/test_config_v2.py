@@ -118,10 +118,10 @@ class TestV2RoundTrip:
         rebuilt = scenario_from_dict(scenario_to_dict(spec))
         assert rebuilt == spec
         result = run_scenario(rebuilt)
-        study = result.result("scms").data
+        study = result.result("scms").data["study"]
         assert study.config.node.defect_density == 0.08
         assert study.config.node.name == "7lp"
-        assert len(result.result("fsmc").data.multichip.systems) == 5
+        assert len(result.result("fsmc").data["study"].multichip.systems) == 5
 
 
 class TestV1BackCompat:

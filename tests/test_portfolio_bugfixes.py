@@ -1,0 +1,187 @@
+"""Portfolio correctness fixes: quantity validation at construction,
+stable value-based design keys (round-trip sharing), and D2D
+interface-NRE collision detection."""
+
+import pytest
+
+from repro.config import portfolio_from_dict, portfolio_to_dict
+from repro.core.chip import Chip
+from repro.core.module import Module
+from repro.core.system import System, multichip
+from repro.d2d.overhead import FractionOverhead
+from repro.errors import InvalidParameterError
+from repro.packaging.mcm import mcm
+from repro.reuse.portfolio import Portfolio
+from repro.reuse.scms import SCMSConfig, build_scms
+
+
+def _force_quantity(system: System, quantity: float) -> System:
+    """A member with an out-of-domain quantity (bypassing System's own
+    constructor validation, as a buggy caller or mutation could)."""
+    object.__setattr__(system, "quantity", quantity)
+    return system
+
+
+class TestQuantityValidation:
+    @pytest.mark.parametrize("quantity", [0.0, -10.0, float("nan"), float("inf")])
+    def test_bad_quantity_rejected_at_construction(
+        self, simple_chiplet, mcm_tech, quantity
+    ):
+        good = multichip("good", [simple_chiplet], mcm_tech, quantity=1000.0)
+        bad = _force_quantity(
+            multichip("bad", [simple_chiplet], mcm_tech, quantity=1000.0),
+            quantity,
+        )
+        with pytest.raises(InvalidParameterError, match="'bad'"):
+            Portfolio([good, bad])
+
+    def test_no_zero_division_surfaces(self, simple_chiplet, mcm_tech):
+        """The old failure mode: a bare ZeroDivisionError out of the
+        package share (reuse/portfolio amortization)."""
+        bad = _force_quantity(
+            multichip("zeroed", [simple_chiplet], mcm_tech, quantity=1.0), 0.0
+        )
+        try:
+            Portfolio([bad])
+        except ZeroDivisionError:  # pragma: no cover - the old bug
+            pytest.fail("Portfolio leaked a bare ZeroDivisionError")
+        except InvalidParameterError as error:
+            assert "zeroed" in str(error)
+
+
+class TestStableDesignKeys:
+    """Value-equal designs are one design, shared object or not."""
+
+    def _fresh_system(self, name, n7, mcm_tech, instances=1):
+        module = Module("shared-ip", 120.0, n7)
+        chip = Chip.of(
+            "shared-chip", (module,), n7, d2d=FractionOverhead(0.10)
+        )
+        return multichip(name, [chip] * instances, mcm_tech, quantity=1000.0)
+
+    def test_rebuilt_objects_price_like_shared_objects(self, n7, mcm_tech):
+        # Shared-object portfolio (the in-process idiom).
+        module = Module("shared-ip", 120.0, n7)
+        chip = Chip.of(
+            "shared-chip", (module,), n7, d2d=FractionOverhead(0.10)
+        )
+        shared = Portfolio(
+            [
+                multichip("a", [chip], mcm_tech, quantity=1000.0),
+                multichip("b", [chip, chip], mcm_tech, quantity=1000.0),
+            ]
+        )
+        # Rebuilt portfolio: every system gets its own value-equal objects
+        # (what a scenario/config round-trip or external generator does).
+        rebuilt = Portfolio(
+            [
+                self._fresh_system("a", n7, mcm_tech, 1),
+                self._fresh_system("b", n7, mcm_tech, 2),
+            ]
+        )
+        for shared_sys, rebuilt_sys in zip(shared.systems, rebuilt.systems):
+            expected = shared.amortized_nre(shared_sys)
+            actual = rebuilt.amortized_nre(rebuilt_sys)
+            assert actual.modules == expected.modules
+            assert actual.chips == expected.chips
+            assert actual.d2d == expected.d2d
+        assert rebuilt.total_nre().total == shared.total_nre().total
+
+    def test_duplicated_pool_entries_price_identically(self):
+        """A config document listing the shared chip under two refs (two
+        merged documents, a hand-written file) must not double the NRE."""
+        document = {
+            "version": 1,
+            "modules": {
+                "m0": {"name": "ip", "area": 100.0, "node": "7nm"},
+                "m1": {"name": "ip", "area": 100.0, "node": "7nm"},
+            },
+            "chips": {
+                "c0": {"name": "chip", "modules": ["m0"], "node": "7nm",
+                       "d2d_fraction": 0.1},
+                "c1": {"name": "chip", "modules": ["m1"], "node": "7nm",
+                       "d2d_fraction": 0.1},
+            },
+            "packages": {},
+            "systems": [
+                {"name": "one", "chips": ["c0"], "integration": "mcm",
+                 "quantity": 1000.0},
+                {"name": "two", "chips": ["c1", "c1"], "integration": "mcm",
+                 "quantity": 1000.0},
+            ],
+        }
+        duplicated = portfolio_from_dict(document)
+        shared_doc = {
+            **document,
+            "chips": {"c0": document["chips"]["c0"]},
+            "modules": {"m0": document["modules"]["m0"]},
+            "systems": [
+                {**document["systems"][0], "chips": ["c0"]},
+                {**document["systems"][1], "chips": ["c0", "c0"]},
+            ],
+        }
+        shared = portfolio_from_dict(shared_doc)
+        for dup_sys, shared_sys in zip(duplicated.systems, shared.systems):
+            assert duplicated.amortized_nre(dup_sys).total == (
+                shared.amortized_nre(shared_sys).total
+            )
+
+    def test_json_round_trip_prices_identically(self):
+        """Regression: a reuse portfolio serialized and reloaded reports
+        the same amortized costs as the in-process original."""
+        study = build_scms(SCMSConfig(counts=(1, 2)), mcm())
+        original = study.chiplet_package_reused
+        reloaded = portfolio_from_dict(portfolio_to_dict(original))
+        for orig_sys, new_sys in zip(original.systems, reloaded.systems):
+            assert reloaded.amortized_cost(new_sys).total == pytest.approx(
+                original.amortized_cost(orig_sys).total, rel=0, abs=0
+            )
+
+    def test_distinct_names_stay_distinct_designs(self, n7, mcm_tech):
+        """SCMS footnote 3: a mirrored twin (same module, different chip
+        name) is a second mask set — value keys must not merge it."""
+        module = Module("m", 100.0, n7)
+        d2d = FractionOverhead(0.10)
+        base = Chip.of("base", (module,), n7, d2d=d2d)
+        mirror = Chip.of("mirror", (module,), n7, d2d=d2d)
+        portfolio = Portfolio(
+            [multichip("s", [base, mirror], mcm_tech, quantity=1000.0)]
+        )
+        from repro.core.nre_cost import chip_design_nre
+
+        assert portfolio.total_nre().chips == pytest.approx(
+            chip_design_nre(base) + chip_design_nre(mirror)
+        )
+
+
+class TestD2DCollisionDetection:
+    def test_conflicting_interface_nre_raises(self, mcm_tech, n7):
+        shadow = n7.evolve(d2d_interface_nre=n7.d2d_interface_nre * 2.0)
+        assert shadow.name == n7.name
+        d2d = FractionOverhead(0.10)
+        chip_a = Chip.of("a", (Module("ma", 100.0, n7),), n7, d2d=d2d)
+        chip_b = Chip.of("b", (Module("mb", 100.0, shadow),), shadow, d2d=d2d)
+        with pytest.raises(InvalidParameterError, match="conflicting D2D"):
+            Portfolio(
+                [
+                    multichip("sa", [chip_a], mcm_tech, quantity=1000.0),
+                    multichip("sb", [chip_b], mcm_tech, quantity=1000.0),
+                ]
+            )
+
+    def test_same_nre_still_shares(self, mcm_tech, n7):
+        """Distinct node objects agreeing on the D2D NRE share a design
+        (the paper's one-design-per-node rule)."""
+        twin = n7.evolve(defect_density=n7.defect_density * 1.5)
+        d2d = FractionOverhead(0.10)
+        chip_a = Chip.of("a", (Module("ma", 100.0, n7),), n7, d2d=d2d)
+        chip_b = Chip.of("b", (Module("mb", 100.0, twin),), twin, d2d=d2d)
+        portfolio = Portfolio(
+            [
+                multichip("sa", [chip_a], mcm_tech, quantity=1000.0),
+                multichip("sb", [chip_b], mcm_tech, quantity=1000.0),
+            ]
+        )
+        assert portfolio.amortized_nre(portfolio.systems[0]).d2d == (
+            pytest.approx(n7.d2d_interface_nre / 2000.0)
+        )
