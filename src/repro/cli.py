@@ -55,6 +55,23 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
                         help="production quantity (default: 500k)")
 
 
+def _add_yield_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--yield-model",
+        default="",
+        metavar="NAME",
+        help="price dies with a registered yield-model family "
+        "(see 'techs' for the registry)",
+    )
+    parser.add_argument(
+        "--wafer-geometry",
+        default="",
+        metavar="NAME",
+        help="price dies on a registered wafer geometry "
+        "(see 'techs' for the registry)",
+    )
+
+
 def _cmd_nodes(_args: argparse.Namespace) -> int:
     from repro.process.catalog import NODES
 
@@ -136,6 +153,19 @@ def _cmd_techs(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _die_cost_override(args: argparse.Namespace, context: str):
+    """``(node, area) -> DieCost`` override for ``--yield-model`` /
+    ``--wafer-geometry`` flags (``None`` when neither is given), resolved
+    through the global registries like scenario studies resolve names."""
+    from repro.config import ConfigRegistries
+
+    return ConfigRegistries().die_cost_fn(
+        getattr(args, "yield_model", "") or "",
+        getattr(args, "wafer_geometry", "") or "",
+        context=context,
+    )
+
+
 def _cmd_cost(args: argparse.Namespace) -> int:
     node = get_node(args.node)
     if args.integration == "soc":
@@ -149,8 +179,8 @@ def _cmd_cost(args: argparse.Namespace) -> int:
             d2d_fraction=args.d2d,
             quantity=args.quantity,
         )
-    re = compute_re_cost(system)
-    total = compute_total_cost(system)
+    re = compute_re_cost(system, die_cost_fn=_die_cost_override(args, "cost"))
+    total = compute_total_cost(system, re_cost=re)
     table = Table(["component", "USD per unit"], title=f"Cost of {system.name}")
     for name, value in re.as_dict().items():
         table.add_row([f"RE {name}", value])
@@ -218,9 +248,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.engine import CostEngine, default_engine
     from repro.reporting.series import FigureData, Series
 
+    die_cost_fn = _die_cost_override(args, "sweep")
+    # A die-cost override is a bound closure: it cannot cross a process
+    # boundary, so pooled runs default to the thread backend when one
+    # is active (an explicit --backend process still errors, named).
+    backend = args.backend or ("thread" if die_cost_fn else "process")
     if args.workers is not None:
         # Own the pooled engine so its workers are released on exit.
-        context = CostEngine(workers=args.workers, backend=args.backend)
+        context = CostEngine(workers=args.workers, backend=backend)
     else:
         context = nullcontext(default_engine())
     node = get_node(args.node)
@@ -228,7 +263,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     columns: dict[str, list[float]] = {}
     with context as engine:
         soc_sweep = engine.sweep(
-            "SoC", areas, lambda area: soc_reference(area, node)
+            "SoC", areas, lambda area: soc_reference(area, node),
+            die_cost_fn=die_cost_fn,
         )
         columns["SoC"] = [cost.total for cost in soc_sweep.values()]
         for label, tech in multichip_integrations().items():
@@ -238,6 +274,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 lambda area, tech=tech: partition_monolith(
                     area, node, args.chiplets, tech, d2d_fraction=args.d2d
                 ),
+                die_cost_fn=die_cost_fn,
             )
             columns[label] = [cost.total for cost in scheme_sweep.values()]
     figure = FigureData(
@@ -273,6 +310,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         sigma=args.sigma,
         seed=args.seed,
         method=args.method,
+        die_cost_fn=_die_cost_override(args, "montecarlo"),
     )
     table = Table(
         ["statistic", "RE USD/unit"],
@@ -384,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="soc",
         help="integration scheme (default: soc)",
     )
+    _add_yield_arguments(cost)
 
     compare = sub.add_parser("compare", help="rank integration schemes")
     _add_design_arguments(compare)
@@ -411,8 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "built-in evaluation is usually faster serially, so "
                        "leave unset unless a sweep is genuinely heavy")
     sweep.add_argument("--backend", choices=["process", "thread"],
-                       default="process",
-                       help="pool kind for --workers (default: process)")
+                       default=None,
+                       help="pool kind for --workers (default: process, "
+                       "or thread when --yield-model/--wafer-geometry "
+                       "is given)")
+    _add_yield_arguments(sweep)
 
     montecarlo = sub.add_parser(
         "montecarlo", help="cost distribution under defect uncertainty"
@@ -433,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="closed-form fast path (default) or the object-rebuilding "
         "oracle (identical samples)",
     )
+    _add_yield_arguments(montecarlo)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", type=int, choices=[2, 4, 5, 6, 8, 9, 10])

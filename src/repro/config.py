@@ -28,8 +28,9 @@ Format (version 2)::
 ``yield_models`` / ``wafer_geometries`` sections — are declarative
 registry specs (``repro.registry``): custom-parameter nodes,
 parameterized integration technologies, yield-model families and wafer
-formats are config data, not code (scenario partition studies consume
-the last two by name).
+formats are config data, not code.  Every non-figure scenario study
+kind and the CLI consume the last two by name, resolved through
+:meth:`ConfigRegistries.die_cost_fn`.
 Chips may carry a bandwidth-derived D2D policy as
 ``"d2d": {"policy": "bandwidth", "bandwidth_gbps": ..., "interface":
 <name>}`` instead of ``d2d_fraction``.
@@ -106,6 +107,63 @@ class ConfigRegistries:
             if geometries is not None
             else wafer_geometry_registry().child()
         )
+
+    def die_cost_fn(
+        self,
+        yield_model: str = "",
+        wafer_geometry: str = "",
+        context: str = "",
+    ):
+        """Die pricing honoring named yield-model / wafer-geometry entries.
+
+        The single resolution point every consumer threads registry
+        names through — partition, systems, Monte-Carlo, Pareto,
+        sensitivity and reuse studies, plus the CLI — so "accepts a
+        ``yield_model`` / ``wafer_geometry`` name" means the same thing
+        everywhere.  Returns ``None`` when both names are empty (the
+        caller keeps its default pricing and the engine's identity-keyed
+        hot cache stays in play), else a ``(node, area) -> DieCost``
+        closure over the memoized die-cost layer.  Unknown names raise
+        :class:`~repro.errors.ConfigError` listing the available
+        entries, prefixed with ``context`` (typically the study name).
+        """
+        if not yield_model and not wafer_geometry:
+            return None
+        from repro.wafer.die import DieSpec
+        from repro.wafer.diecache import cached_die_cost
+
+        try:
+            entry = (
+                self.yield_models.get(yield_model) if yield_model else None
+            )
+            geometry = (
+                self.geometries.get(wafer_geometry) if wafer_geometry else None
+            )
+        except RegistryError as error:
+            message = f"{context}: {error}" if context else str(error)
+            raise ConfigError(message) from None
+
+        # One bound model per node object (a study prices a fixed node
+        # set, so binding once beats re-constructing per die).
+        models: dict[int, tuple] = {}
+
+        def model_for(node: ProcessNode):
+            if entry is None:
+                return None
+            cached = models.get(id(node))
+            if cached is not None and cached[0] is node:
+                return cached[1]
+            model = entry.for_node(node)
+            models[id(node)] = (node, model)
+            return model
+
+        def price_die(node: ProcessNode, area: float):
+            return cached_die_cost(
+                DieSpec(area=area, node=node, geometry=geometry),
+                model_for(node),
+            )
+
+        return price_die
 
 
 def build_registries(

@@ -194,29 +194,48 @@ class CostEngine:
             entry[2] = True
         return entry[1]
 
-    def evaluate_re(self, system: System) -> RECost:
+    def evaluate_re(
+        self,
+        system: System,
+        die_cost_fn: Callable | None = None,
+    ) -> RECost:
         """Per-unit RE cost; numerically identical to
         :func:`repro.core.re_cost.compute_re_cost`.
 
         Delegates to the single shared accumulation in
         ``repro.core.re_cost``, supplying the engine's identity-keyed
         die cache and (once warm) the affine packaging decomposition.
+
+        Args:
+            system: The system to price.
+            die_cost_fn: Optional ``(node, area) -> DieCost`` override
+                replacing the engine's die pricing — how registry-named
+                yield models / wafer geometries
+                (:meth:`repro.config.ConfigRegistries.die_cost_fn`)
+                reach every evaluation path.  The affine packaging
+                decomposition still applies (it is a function of the
+                packager and chip areas only, not of die prices).
         """
         affine = self._packaging_affine(system)
         return compute_re_cost(
             system,
-            die_cost_fn=self._die_cost_for,
+            die_cost_fn=die_cost_fn if die_cost_fn is not None else self._die_cost_for,
             packaging_cost_fn=affine.packaging_cost if affine is not None else None,
         )
 
     def evaluate_total(
-        self, system: System, quantity: float | None = None
+        self,
+        system: System,
+        quantity: float | None = None,
+        die_cost_fn: Callable | None = None,
     ) -> TotalCost:
         """Per-unit total (RE + amortized NRE), delegating to
         :func:`repro.core.total.compute_total_cost` with the engine's
-        cached RE evaluation."""
+        cached RE evaluation (optionally under a die-cost override)."""
         return compute_total_cost(
-            system, quantity=quantity, re_cost=self.evaluate_re(system)
+            system,
+            quantity=quantity,
+            re_cost=self.evaluate_re(system, die_cost_fn=die_cost_fn),
         )
 
     # ------------------------------------------------------------------
@@ -229,6 +248,7 @@ class CostEngine:
         evaluator: Callable[[System], Any] | None = None,
         workers: int | None = None,
         backend: str | None = None,
+        die_cost_fn: Callable | None = None,
     ) -> list:
         """Evaluate every system; ``evaluator`` defaults to
         :meth:`evaluate_re`.
@@ -239,6 +259,10 @@ class CostEngine:
                 process backend.
             workers: Pool size override (``None``: the engine default).
             backend: Pool kind override (``None``: the engine default).
+            die_cost_fn: Optional die-pricing override applied to the
+                default RE evaluator (mutually exclusive with
+                ``evaluator``; serial/thread execution only — the bound
+                closure does not cross a process boundary).
 
         Process-backend caveat: with ``evaluator=None`` each worker
         process evaluates on its own process-wide default engine — a
@@ -255,6 +279,19 @@ class CostEngine:
             )
         if pool is not None and pool < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {pool}")
+        if die_cost_fn is not None:
+            if evaluator is not None:
+                raise InvalidParameterError(
+                    "pass either evaluator or die_cost_fn, not both"
+                )
+            if kind == "process" and pool is not None and pool > 1 and len(systems) > 1:
+                raise InvalidParameterError(
+                    "die_cost_fn overrides are not picklable; use the "
+                    "thread backend or serial evaluation"
+                )
+            evaluator = lambda system: self.evaluate_re(  # noqa: E731
+                system, die_cost_fn=die_cost_fn
+            )
 
         if pool is None or pool == 1 or len(systems) <= 1:
             if evaluator is None:
@@ -320,12 +357,15 @@ class CostEngine:
         builder: Callable[[X], System],
         evaluator: Callable[[System], Y] | None = None,
         workers: int | None = None,
+        die_cost_fn: Callable | None = None,
     ) -> Sweep:
         """Batched form of :func:`repro.explore.sweep.run_sweep`."""
         if not values:
             raise InvalidParameterError("sweep needs at least one value")
         systems = [builder(value) for value in values]
-        results = self.evaluate_many(systems, evaluator=evaluator, workers=workers)
+        results = self.evaluate_many(
+            systems, evaluator=evaluator, workers=workers, die_cost_fn=die_cost_fn
+        )
         points = tuple(
             SweepPoint(x=value, value=result)
             for value, result in zip(values, results)
@@ -340,13 +380,16 @@ class CostEngine:
         builder: Callable[[R, C], System],
         evaluator: Callable[[System], Y] | None = None,
         workers: int | None = None,
+        die_cost_fn: Callable | None = None,
     ) -> GridResult:
         """Evaluate the full ``rows x cols`` cartesian product."""
         if not rows or not cols:
             raise InvalidParameterError("grid needs at least one row and column")
         cells = [(row, col) for row in rows for col in cols]
         systems = [builder(row, col) for row, col in cells]
-        results = self.evaluate_many(systems, evaluator=evaluator, workers=workers)
+        results = self.evaluate_many(
+            systems, evaluator=evaluator, workers=workers, die_cost_fn=die_cost_fn
+        )
         points = tuple(
             GridPoint(row=row, col=col, value=result)
             for (row, col), result in zip(cells, results)

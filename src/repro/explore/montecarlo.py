@@ -129,6 +129,7 @@ def monte_carlo_cost(
     seed: int = 0,
     metric: Callable[[System], float] | None = None,
     method: str = "auto",
+    die_cost_fn: Callable | None = None,
 ) -> CostDistribution:
     """Sample the per-unit RE cost under defect-density uncertainty.
 
@@ -144,14 +145,34 @@ def monte_carlo_cost(
         seed: RNG seed.
         metric: Override for the sampled quantity; defaults to total RE
             cost per unit.  A custom metric always uses the naive path.
-        method: ``"auto"`` (closed-form fast path unless a metric is
-            given), ``"fast"`` (closed form; rejects a custom metric) or
-            ``"naive"`` (per-draw object rebuilding).
+        method: ``"auto"`` (closed-form fast path unless a metric or
+            die-cost override is given), ``"fast"`` (closed form;
+            rejects both) or ``"naive"`` (per-draw object rebuilding).
+        die_cost_fn: Optional ``(node, area) -> DieCost`` override
+            (registry-named yield models / wafer geometries,
+            :meth:`repro.config.ConfigRegistries.die_cost_fn`) applied
+            to every draw.  The closed-form plan bakes in the
+            node-default negative binomial, so an override always
+            samples through the naive path.
     """
     if method not in _METHODS:
         raise InvalidParameterError(
             f"method must be one of {_METHODS}, got {method!r}"
         )
+    if die_cost_fn is not None:
+        if metric is not None:
+            raise InvalidParameterError(
+                "pass either metric or die_cost_fn, not both"
+            )
+        if method == "fast":
+            raise InvalidParameterError(
+                "the closed-form fast path prices with the node-default "
+                "yield model and wafer; use method 'naive' (or 'auto') "
+                "with a die-cost override"
+            )
+        metric = lambda s: compute_re_cost(  # noqa: E731
+            s, die_cost_fn=die_cost_fn
+        ).total
     if method == "fast" and metric is not None:
         raise InvalidParameterError(
             "the closed-form fast path samples the RE total; "

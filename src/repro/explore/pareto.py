@@ -77,12 +77,15 @@ def design_space(
     chiplet_counts: Sequence[int] = (2, 3, 4, 5),
     d2d_fraction: float = 0.10,
     engine: "CostEngine | None" = None,
+    die_cost_fn: Callable | None = None,
 ) -> list[DesignPoint]:
     """Evaluate the SoC plus every (integration, count) alternative.
 
     Evaluation runs on the batch engine (shared die-cost and packaging
     caches across the whole space); pass ``engine`` to reuse a warmed
-    instance across repeated studies.
+    instance across repeated studies, and ``die_cost_fn`` to price
+    every point under a custom die-cost override (registry-named yield
+    models / wafer geometries).
     """
     from repro.engine.costengine import default_engine
 
@@ -92,7 +95,7 @@ def design_space(
     points = []
 
     soc_system = soc_reference(module_area, node, quantity=quantity)
-    points.append(_evaluate(soc_system, "SoC", 1, eng))
+    points.append(_evaluate(soc_system, "SoC", 1, eng, die_cost_fn))
 
     for integration in integrations:
         for count in chiplet_counts:
@@ -104,14 +107,20 @@ def design_space(
                 d2d_fraction=d2d_fraction,
                 quantity=quantity,
             )
-            points.append(_evaluate(system, integration.label, count, eng))
+            points.append(
+                _evaluate(system, integration.label, count, eng, die_cost_fn)
+            )
     return points
 
 
 def _evaluate(
-    system: System, scheme: str, count: int, engine: "CostEngine"
+    system: System,
+    scheme: str,
+    count: int,
+    engine: "CostEngine",
+    die_cost_fn: Callable | None = None,
 ) -> DesignPoint:
-    total = engine.evaluate_total(system)
+    total = engine.evaluate_total(system, die_cost_fn=die_cost_fn)
     re = total.re
     if system.package is not None:
         footprint = system.package.footprint

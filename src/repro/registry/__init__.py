@@ -6,6 +6,20 @@ hard-wired factory call sites behind name-based lookup with declarative
 (JSON-ready) custom entries.  Each global registry can spawn scoped
 child layers, which is how scenario and config documents introduce
 per-document technologies without mutating process-wide state.
+
+Registry names are honored uniformly across the stack: every non-figure
+scenario study kind (``systems``, ``partition_sweep``,
+``partition_grid``, ``montecarlo``, ``pareto``, ``sensitivity``,
+``reuse``) and the CLI ``cost`` / ``sweep`` / ``montecarlo`` commands
+accept ``yield_model`` / ``wafer_geometry`` names.  Resolution funnels
+through one point — :meth:`repro.config.ConfigRegistries.die_cost_fn`,
+which turns the named entries into a die-pricing override threaded into
+:class:`~repro.engine.costengine.CostEngine` and
+:class:`~repro.engine.fastportfolio.PortfolioEngine` entry points — so
+an unknown name always raises the same
+:class:`~repro.errors.ConfigError` listing the available entries.
+Yield-model entries are *families*: parameters they leave open (defect
+density, clustering) bind from the process node at pricing time.
 """
 
 from repro.registry.core import Registry, singleton

@@ -178,7 +178,7 @@ class Portfolio:
 
     @property
     def total_quantity(self) -> float:
-        return sum(system.quantity for system in self.systems)
+        return _fold(system.quantity for system in self.systems)
 
     def total_nre(self) -> NRECost:
         """One-time cost of the whole portfolio, each design paid once."""
@@ -243,15 +243,15 @@ class Portfolio:
         self._require_member(system)
         keys = self.system_design_keys(system)
 
-        modules = sum(
+        modules = _fold(
             self._module_units[key].nre / self._module_units[key].total_units
             for key in keys.modules
         )
-        chips = sum(
+        chips = _fold(
             self._chip_units[key].nre / self._chip_units[key].total_units
             for key in keys.chips
         )
-        d2d = sum(
+        d2d = _fold(
             self._d2d_units[key].nre / self._d2d_units[key].total_units
             for key in keys.d2d
         )
@@ -276,7 +276,7 @@ class Portfolio:
 
     def average_cost(self) -> float:
         """Quantity-weighted average per-unit total cost of the portfolio."""
-        spend = sum(
+        spend = _fold(
             self.amortized_cost(system).total * system.quantity
             for system in self.systems
         )
@@ -292,6 +292,23 @@ class Portfolio:
         return f"Portfolio({len(self.systems)} systems, {self.total_quantity:g} units)"
 
 
+def _fold(values: Iterable[float]) -> float:
+    """Plain left-to-right float fold from 0.0.
+
+    Every accumulation on the amortization path uses this instead of
+    builtin ``sum`` (Neumaier-compensated for floats since Python 3.12)
+    because the vectorized engine replicates the naive fold with
+    elementwise adds and sequential ``np.add.accumulate``
+    (:mod:`repro.engine.fastportfolio`); pinning the fold keeps
+    oracle, scalar engine and vector engine bit-identical on every
+    Python version.
+    """
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
 def _design_unit(nre: float, quantities: list[float]) -> _DesignUnit:
     """Fold a design's contributing quantities into a unit.
 
@@ -299,9 +316,7 @@ def _design_unit(nre: float, quantities: list[float]) -> _DesignUnit:
     ``totals[key] = totals.get(key, 0.0) + system.quantity``
     accumulation bit-for-bit.
     """
-    total = 0.0
-    for quantity in quantities:
-        total += quantity
+    total = _fold(quantities)
     return _DesignUnit(
         nre=nre, total_units=total, quantities=tuple(quantities)
     )

@@ -2,12 +2,27 @@
 
 The runner owns a :class:`~repro.engine.costengine.CostEngine` and a set
 of scoped registries (the scenario's custom nodes / technologies / D2D
-profiles layered over the global ones), and dispatches each study to an
-executor that routes through the engine's batched fast paths.  Every
-study returns a :class:`StudyResult` holding the structured result
-object *and* rendered text; figure studies produce output identical to
+profiles / yield models / wafer geometries layered over the global
+ones), and dispatches each study to an executor that routes through the
+engine's batched fast paths.  Every study returns a
+:class:`StudyResult` holding the structured result object, rendered
+text, *and* header-keyed ``rows`` consumed by the output sinks
+(``repro.scenario.sinks``); figure studies produce output identical to
 the corresponding ``run_figN`` + printer pipeline (parity-tested in
 ``tests/test_scenario.py``).
+
+Registry-name resolution is uniform across study kinds: every
+non-figure study (``systems``, ``partition_sweep``, ``partition_grid``,
+``montecarlo``, ``pareto``, ``sensitivity``, ``reuse``) accepts
+``yield_model`` / ``wafer_geometry`` names, resolved through
+:meth:`repro.config.ConfigRegistries.die_cost_fn` into a die-pricing
+override threaded into the engine entry point the executor uses —
+unknown names raise a :class:`~repro.errors.ConfigError` naming the
+study and listing the available entries.  ``reuse`` studies run on the
+vectorized :class:`~repro.engine.fastportfolio.PortfolioEngine` and may
+declare a closed-form ``volume_sweep`` (a list of volume scales) whose
+per-scale averages render as an extra table and export through the
+sinks.
 """
 
 from __future__ import annotations
@@ -174,49 +189,16 @@ class ScenarioRunner:
     def _die_cost_override(self, registries: ConfigRegistries, study: Any):
         """Die pricing honoring a study's named yield model / geometry.
 
-        Returns ``None`` when the study keeps the defaults, so the
-        engine's identity-keyed hot cache stays in play.
+        Delegates to :meth:`ConfigRegistries.die_cost_fn` (the shared
+        resolution point for scenario studies, config documents and the
+        CLI); returns ``None`` when the study keeps the defaults, so
+        the engine's identity-keyed hot cache stays in play.
         """
-        model_name = getattr(study, "yield_model", "")
-        geometry_name = getattr(study, "wafer_geometry", "")
-        if not model_name and not geometry_name:
-            return None
-        from repro.wafer.die import DieSpec
-        from repro.wafer.diecache import cached_die_cost
-
-        try:
-            entry = (
-                registries.yield_models.get(model_name) if model_name else None
-            )
-            geometry = (
-                registries.geometries.get(geometry_name)
-                if geometry_name
-                else None
-            )
-        except RegistryError as error:
-            raise ConfigError(f"{study.name}: {error}") from None
-
-        # One bound model per node object (a study prices a fixed node
-        # set, so binding once beats re-constructing per die).
-        models: dict[int, tuple] = {}
-
-        def model_for(node: ProcessNode):
-            if entry is None:
-                return None
-            cached = models.get(id(node))
-            if cached is not None and cached[0] is node:
-                return cached[1]
-            model = entry.for_node(node)
-            models[id(node)] = (node, model)
-            return model
-
-        def die_cost_fn(node: ProcessNode, area: float):
-            return cached_die_cost(
-                DieSpec(area=area, node=node, geometry=geometry),
-                model_for(node),
-            )
-
-        return die_cost_fn
+        return registries.die_cost_fn(
+            getattr(study, "yield_model", ""),
+            getattr(study, "wafer_geometry", ""),
+            context=study.name,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -344,18 +326,25 @@ def _run_figure(
 def _run_systems(
     runner: ScenarioRunner, study: SystemsStudy, registries: ConfigRegistries
 ) -> tuple[Any, str]:
+    from repro.core.breakdown import TotalCost
+
     document = dict(study.document)
     document.setdefault("version", 2)
     portfolio = portfolio_from_dict(document, registries=registries)
+    die_cost_fn = runner._die_cost_override(registries, study)
     table = Table(
         ["system", "quantity", "RE/unit", "NRE/unit", "total/unit"],
         title=f"Systems: {study.name}",
     )
     rows = []
     for system in portfolio.systems:
-        re_cost = runner.engine.evaluate_re(system)
+        re_cost = runner.engine.evaluate_re(system, die_cost_fn=die_cost_fn)
         if study.metric == "total":
-            cost = portfolio.amortized_cost(system)
+            cost = TotalCost(
+                re=re_cost,
+                amortized_nre=portfolio.amortized_nre(system),
+                quantity=system.quantity,
+            )
             row = (system.name, system.quantity, cost.re_total,
                    cost.nre_total, cost.total)
         else:
@@ -453,6 +442,7 @@ def _run_montecarlo(
         sigma=study.sigma,
         seed=study.seed,
         method=study.method,
+        die_cost_fn=runner._die_cost_override(registries, study),
     )
     table = Table(
         ["statistic", "RE USD/unit"],
@@ -487,6 +477,7 @@ def _run_pareto(
         chiplet_counts=study.chiplet_counts,
         d2d_fraction=study.d2d_fraction,
         engine=runner.engine,
+        die_cost_fn=runner._die_cost_override(registries, study),
     )
     frontier = cost_footprint_frontier(points)
     on_frontier = {id(point) for point in frontier}
@@ -545,7 +536,11 @@ def _run_sensitivity(
         )
 
     results = system_tornado(
-        study.parameters, builder, step=study.step, engine=runner.engine
+        study.parameters,
+        builder,
+        step=study.step,
+        engine=runner.engine,
+        die_cost_fn=runner._die_cost_override(registries, study),
     )
     table = Table(
         ["parameter", "low", "base", "high", "swing", "swing %"],
@@ -590,7 +585,11 @@ def _run_reuse(
     per-unit table plus the figure-style *normalized* breakdown —
     normalized, like Figs. 8/9, to the RE cost of the largest
     plain-technology system (SCMS/OCME), or, like Fig. 10, to the
-    quantity-weighted average SoC RE cost (FSMC).
+    quantity-weighted average SoC RE cost (FSMC).  A named
+    ``yield_model`` / ``wafer_geometry`` reprices every portfolio's RE
+    costs; a non-empty ``volume_sweep`` additionally runs the
+    vectorized closed-form sweep (one decomposition per variant, all
+    scales solved at once) and appends per-scale rows to the sinks.
     """
     from repro.experiments.printers import reuse_table
     from repro.reuse.fsmc import FSMCConfig, build_fsmc
@@ -628,8 +627,9 @@ def _run_reuse(
         portfolios = {"SoC": built.soc, technology.label: built.multichip}
 
     engine = runner.portfolio_engine
+    die_cost_fn = runner._die_cost_override(registries, study)
     costs = {
-        variant: engine.evaluate(portfolio)
+        variant: engine.evaluate(portfolio, die_cost_fn=die_cost_fn)
         for variant, portfolio in portfolios.items()
     }
 
@@ -682,8 +682,56 @@ def _run_reuse(
         normalized_rows,
     )
     text = absolute.render() + "\n\n" + normalized.render()
+
+    solves = None
+    if study.volume_sweep:
+        # Closed-form vectorized sweep: one decomposition per variant,
+        # every scale solved at once over the dense matrices.
+        solves = {
+            variant: engine.volume_solve(
+                portfolio, study.volume_sweep, die_cost_fn=die_cost_fn
+            )
+            for variant, portfolio in portfolios.items()
+        }
+        sweep_table = Table(
+            ["scale"] + list(portfolios),
+            title=(
+                f"Reuse study ({study.scheme.upper()}, {technology.label}): "
+                "volume sweep, average total USD/unit"
+            ),
+        )
+        for index, scale in enumerate(study.volume_sweep):
+            sweep_table.add_row(
+                [scale]
+                + [solves[variant].point_average(index) for variant in portfolios]
+            )
+        text += "\n\n" + sweep_table.render()
+        for variant, solve in solves.items():
+            for index, scale in enumerate(solve.scales):
+                average = solve.point_average(index)
+                for label, quantity, total in zip(
+                    labels,
+                    solve.quantities[index],
+                    solve.totals[index],
+                ):
+                    sink_rows.append(
+                        {
+                            "system": label,
+                            "variant": variant,
+                            "scale": scale,
+                            "quantity": float(quantity),
+                            "total": float(total),
+                            "average_total": average,
+                        }
+                    )
+
     return (
-        {"study": built, "costs": costs, "reference": reference},
+        {
+            "study": built,
+            "costs": costs,
+            "reference": reference,
+            "volume_sweep": solves,
+        },
         text,
         tuple(sink_rows),
     )

@@ -86,6 +86,8 @@ class SystemsStudy:
     name: str
     document: Mapping[str, Any]
     metric: str = "total"  # "total" (RE + amortized NRE) or "re"
+    yield_model: str = ""
+    wafer_geometry: str = ""
 
     def __post_init__(self) -> None:
         if self.metric not in ("total", "re"):
@@ -136,7 +138,13 @@ class PartitionGridStudy:
 @register_study_type
 @dataclass(frozen=True)
 class MonteCarloStudy:
-    """RE-cost distribution under defect-density uncertainty."""
+    """RE-cost distribution under defect-density uncertainty.
+
+    A named ``yield_model`` / ``wafer_geometry`` reprices every draw
+    through the registry entry; because the closed-form fast path bakes
+    in the node-default negative binomial, naming either routes the
+    study through the naive sampler (``method: "fast"`` is rejected).
+    """
 
     kind = "montecarlo"
     name: str
@@ -149,6 +157,17 @@ class MonteCarloStudy:
     sigma: float = 0.15
     seed: int = 0
     method: str = "auto"
+    yield_model: str = ""
+    wafer_geometry: str = ""
+
+    def __post_init__(self) -> None:
+        if self.method == "fast" and (self.yield_model or self.wafer_geometry):
+            raise ConfigError(
+                f"montecarlo study {self.name!r}: the closed-form 'fast' "
+                "path prices with the node-default yield model and wafer; "
+                "use method 'naive' (or 'auto') with a named "
+                "yield_model/wafer_geometry"
+            )
 
 
 @register_study_type
@@ -164,6 +183,8 @@ class ParetoStudy:
     technologies: tuple[str, ...] = ("mcm", "info", "2.5d")
     chiplet_counts: tuple[int, ...] = (2, 3, 4, 5)
     d2d_fraction: float = 0.10
+    yield_model: str = ""
+    wafer_geometry: str = ""
 
 
 @register_study_type
@@ -185,6 +206,8 @@ class SensitivityStudy:
         "module_area",
     )
     step: float = 0.2
+    yield_model: str = ""
+    wafer_geometry: str = ""
 
 
 @register_study_type
@@ -194,6 +217,10 @@ class ReuseStudy:
 
     ``params`` map onto the scheme's config dataclass (``SCMSConfig`` /
     ``OCMEConfig`` / ``FSMCConfig``) with node references as names.
+    ``volume_sweep`` optionally lists volume scales (multipliers on
+    every system quantity); when non-empty the study additionally runs
+    a closed-form vectorized volume sweep over every portfolio variant
+    and exports per-scale rows through the sinks.
     """
 
     kind = "reuse"
@@ -201,6 +228,9 @@ class ReuseStudy:
     scheme: str
     technology: str = "mcm"
     params: Mapping[str, Any] = field(default_factory=dict)
+    volume_sweep: tuple[float, ...] = ()
+    yield_model: str = ""
+    wafer_geometry: str = ""
 
     def __post_init__(self) -> None:
         if self.scheme not in REUSE_SCHEMES:
@@ -208,6 +238,12 @@ class ReuseStudy:
                 f"reuse study {self.name!r}: scheme must be one of "
                 f"{REUSE_SCHEMES}, got {self.scheme!r}"
             )
+        for scale in self.volume_sweep:
+            if not isinstance(scale, (int, float)) or not scale > 0:
+                raise ConfigError(
+                    f"reuse study {self.name!r}: volume_sweep scales must "
+                    f"be positive numbers, got {scale!r}"
+                )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,132 @@
+"""Docs check: documented commands and examples must actually run.
+
+Two rot-prone surfaces, both executed for real:
+
+* **Example scenarios** — every ``examples/*.json`` document runs
+  end-to-end via the documented command, ``python -m repro run FILE``
+  (subprocess, so the CLI surface is covered too), inside a temporary
+  working directory so scenario-declared sinks never pollute the repo.
+* **README snippets** — every fenced ``python`` block in README.md is
+  executed (each in a fresh namespace, doctest-style), and every
+  ``python -m repro ...`` line inside fenced ``bash`` blocks runs as a
+  subprocess.
+
+Run locally (or in CI — see .github/workflows/ci.yml)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 means every documented command works; the first failure
+prints the offending snippet/scenario and exits 1.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: Matches fenced code blocks, capturing (language, body).
+_FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    path = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = SRC + (os.pathsep + path if path else "")
+    return env
+
+
+def _run_cli(arguments: list[str], cwd: str, label: str) -> list[str]:
+    completed = subprocess.run(
+        [sys.executable, *arguments],
+        cwd=cwd,
+        env=_subprocess_env(),
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        return [
+            f"{label}: `python {' '.join(arguments)}` exited "
+            f"{completed.returncode}\n{completed.stderr.strip()}"
+        ]
+    return []
+
+
+def check_example_scenarios() -> list[str]:
+    """Run every examples/*.json through ``python -m repro run``."""
+    failures: list[str] = []
+    scenarios = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.json")))
+    if not scenarios:
+        return ["examples/: no *.json scenarios found"]
+    with tempfile.TemporaryDirectory() as workdir:
+        for path in scenarios:
+            name = os.path.relpath(path, REPO_ROOT)
+            print(f"  run {name}")
+            failures += _run_cli(["-m", "repro", "run", path], workdir, name)
+    return failures
+
+
+def _fenced_blocks(markdown_path: str) -> list[tuple[str, str]]:
+    with open(markdown_path, "r", encoding="utf-8") as handle:
+        return _FENCE.findall(handle.read())
+
+
+def check_readme_snippets() -> list[str]:
+    """Execute README.md's python blocks and ``python -m repro`` lines."""
+    failures: list[str] = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+    with tempfile.TemporaryDirectory() as workdir:
+        for language, body in _fenced_blocks(readme):
+            if language == "python":
+                print(f"  exec README python block ({body.splitlines()[0]!r} ...)")
+                try:
+                    exec(compile(body, readme, "exec"), {"__name__": "__docs__"})
+                except Exception as error:  # noqa: BLE001 - report, don't crash
+                    failures.append(f"README python block failed: {error!r}\n{body}")
+            elif language == "bash":
+                for line in body.splitlines():
+                    command = line.split("#", 1)[0].strip()
+                    if not command.startswith(
+                        ("python -m repro", "PYTHONPATH=src python -m repro")
+                    ):
+                        continue
+                    # Commands run from a scratch directory (sink output
+                    # must not pollute the repo), so repo-relative paths
+                    # in the documented command line become absolute.
+                    arguments = [
+                        os.path.join(REPO_ROOT, token)
+                        if token.startswith(("examples/", "benchmarks/"))
+                        else token
+                        for token in command.split()
+                        if token != "PYTHONPATH=src"
+                    ][1:]
+                    print(f"  run README command: {command}")
+                    failures += _run_cli(arguments, workdir, "README bash block")
+    return failures
+
+
+def main() -> int:
+    failures = []
+    print("checking example scenarios ...")
+    failures += check_example_scenarios()
+    print("checking README snippets ...")
+    failures += check_readme_snippets()
+    if failures:
+        print(f"\n{len(failures)} docs check(s) FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"- {failure}\n", file=sys.stderr)
+        return 1
+    print("docs check OK: every example scenario and README snippet runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
