@@ -22,6 +22,13 @@ replace and records the throughput trajectory to ``BENCH_engine.json``:
   shared decomposition, constructing every cost object) versus the
   numpy-vectorized ``PortfolioDecomposition.solve`` over dense
   design x system matrices.  Acceptance: >= 5x.
+* **Prior draws** — the Monte-Carlo prior stream for a 4-chiplet
+  2.5D study: per-call draws exactly as the scalar sampler makes them
+  (one ``DefectDensityPrior.sample`` — i.e. one ``random.Random.gauss``
+  — per node per draw, collected into per-draw scale dicts) versus the
+  MT19937-state-transplant vectorized stream of ``repro.engine.rng``.
+  Parity is element-wise ``==`` *and* end-state equality of the two
+  ``random.Random`` instances.  Acceptance: >= 5x.
 
 Every comparison asserts exact result parity before reporting a number,
 so the speedup can never come from computing something different.
@@ -30,11 +37,17 @@ Run modes::
 
     python benchmarks/bench_perf_engine.py            # full, writes JSON
     python benchmarks/bench_perf_engine.py --smoke    # seconds, no JSON
+    python benchmarks/bench_perf_engine.py --gate     # smoke + CI floors
     pytest benchmarks/bench_perf_engine.py -m perf    # full, as a test
 
 The ``perf`` marker keeps the full bench out of tier-1 (`pytest -x -q`
 never collects ``bench_*.py`` files); the quick smoke mode is exercised
-by ``tests/test_engine.py`` so the bench itself cannot rot.
+by ``tests/test_engine.py`` so the bench itself cannot rot.  ``--gate``
+is the CI regression gate: it runs the smoke shapes and fails unless
+every case meets the ``smoke_floors`` recorded in ``BENCH_engine.json``
+(deliberately below the full-mode acceptance floors — smoke shapes are
+small and CI runners are noisy — but high enough that losing a fast
+path fails the build).
 """
 
 from __future__ import annotations
@@ -54,6 +67,29 @@ MC_SPEEDUP_FLOOR = 10.0
 SWEEP_SPEEDUP_FLOOR = 3.0
 PORTFOLIO_SPEEDUP_FLOOR = 5.0
 THOUSAND_SPEEDUP_FLOOR = 5.0
+PRIOR_DRAWS_SPEEDUP_FLOOR = 5.0
+
+#: Full-mode acceptance floors, recorded in BENCH_engine.json.
+FLOORS = {
+    "monte_carlo": MC_SPEEDUP_FLOOR,
+    "partition_sweep": SWEEP_SPEEDUP_FLOOR,
+    "portfolio_volume_sweep": PORTFOLIO_SPEEDUP_FLOOR,
+    "portfolio_thousand_systems": THOUSAND_SPEEDUP_FLOOR,
+    "prior_draws": PRIOR_DRAWS_SPEEDUP_FLOOR,
+}
+
+#: CI gate floors for the smoke shapes (``--gate``), recorded in
+#: BENCH_engine.json and read back from it by the gate.  Conservative:
+#: roughly half of what the smoke shapes measure on a quiet machine, so
+#: runner noise passes but a lost fast path (or a silently broken
+#: vectorization) fails the build.
+SMOKE_FLOORS = {
+    "monte_carlo": 5.0,
+    "partition_sweep": 1.5,
+    "portfolio_volume_sweep": 2.5,
+    "portfolio_thousand_systems": 2.5,
+    "prior_draws": 2.5,
+}
 
 
 def _monte_carlo_case(draws: int) -> dict:
@@ -277,15 +313,107 @@ def _portfolio_thousand_case(n_systems: int, points: int) -> dict:
     }
 
 
-def run_bench(smoke: bool = False) -> dict:
-    """Run both cases; full mode repeats each and keeps the best round."""
-    rounds = 1 if smoke else 5
-    # 5000 draws amortize the plan compile so the vectorized draw loop
-    # (about 1e6+ draws/s) is what the number reflects.
-    mc_draws = 25 if smoke else 5000
-    grid_shape = (4, 4) if smoke else (10, 10)
-    portfolio_shape = (3, 3, 4) if smoke else (4, 4, 20)
-    thousand_shape = (100, 4) if smoke else (1000, 20)
+def _prior_draws_case(draws: int) -> dict:
+    """Per-call prior stream (the scalar sampler's draw loop) vs the
+    MT19937-transplant vectorized stream of ``repro.engine.rng``.
+
+    The baseline is exactly the stream code of the oracle sampler
+    (``monte_carlo_cost_naive`` and the scalar fallback loop): one
+    ``prior.sample(rng)`` per node per draw, filled into per-draw scale
+    dicts.  Parity is asserted element-wise over the flattened stream
+    *and* on the final ``random.Random`` states — the transplant must
+    leave the generator exactly where the per-call loop would."""
+    import random
+
+    from repro.engine.rng import sample_prior_array
+    from repro.explore.partition import partition_monolith
+    from repro.packaging.interposer import interposer_25d
+    from repro.process.catalog import get_node
+    from repro.yieldmodel.sampling import DefectDensityPrior
+
+    system = partition_monolith(800.0, get_node("5nm"), 4, interposer_25d())
+    names = sorted({chip.node.name for chip in system.chips})
+    prior = DefectDensityPrior(mode=1.0, sigma=0.15)
+
+    naive_rng = random.Random(7)
+    start = time.perf_counter()
+    rows = [
+        {name: prior.sample(naive_rng) for name in names}
+        for _ in range(draws)
+    ]
+    naive_s = time.perf_counter() - start
+
+    fast_rng = random.Random(7)
+    start = time.perf_counter()
+    flat = sample_prior_array(prior, fast_rng, draws * len(names))
+    fast_s = time.perf_counter() - start
+
+    flattened = list(flat) if isinstance(flat, list) else flat.tolist()
+    assert flattened == [
+        row[name] for row in rows for name in names
+    ], "prior-draw stream parity broken"
+    assert fast_rng.getstate() == naive_rng.getstate(), (
+        "prior-draw RNG end-state parity broken"
+    )
+    values = draws * len(names)
+    return {
+        "draws": draws,
+        "nodes": len(names),
+        "naive_seconds": naive_s,
+        "fast_seconds": fast_s,
+        "naive_draws_per_sec": values / naive_s,
+        "fast_draws_per_sec": values / fast_s,
+        "speedup": naive_s / fast_s,
+    }
+
+
+#: Case shapes per run mode.  ``smoke`` is the seconds-long
+#: exercise-everything run (tiny shapes — fixed costs dominate, so its
+#: speedups are meaningless and unchecked); ``gate`` is the CI
+#: regression gate (medium shapes, large enough that losing a fast path
+#: shows, checked against the ``smoke_floors`` recorded in
+#: BENCH_engine.json); ``full`` is the acceptance run that writes the
+#: committed JSON.
+_SHAPES = {
+    "smoke": {
+        "rounds": 1,
+        "mc_draws": 25,
+        "grid": (4, 4),
+        "portfolio": (3, 3, 4),
+        "thousand": (100, 4),
+        "prior_draws": 40_000,
+    },
+    "gate": {
+        "rounds": 3,
+        "mc_draws": 2000,
+        "grid": (8, 8),
+        "portfolio": (4, 4, 10),
+        "thousand": (500, 10),
+        "prior_draws": 200_000,
+    },
+    "full": {
+        "rounds": 5,
+        # 5000 draws amortize the plan compile so the vectorized draw
+        # loop (about 1e6+ draws/s) is what the number reflects.
+        "mc_draws": 5000,
+        "grid": (10, 10),
+        "portfolio": (4, 4, 20),
+        "thousand": (1000, 20),
+        "prior_draws": 400_000,
+    },
+}
+
+
+def run_bench(smoke: bool = False, mode: str | None = None) -> dict:
+    """Run every case; repeated rounds keep the best (quietest) one."""
+    mode = mode or ("smoke" if smoke else "full")
+    shapes = _SHAPES[mode]
+    rounds = shapes["rounds"]
+    mc_draws = shapes["mc_draws"]
+    grid_shape = shapes["grid"]
+    portfolio_shape = shapes["portfolio"]
+    thousand_shape = shapes["thousand"]
+    prior_draws = shapes["prior_draws"]
 
     mc = max(
         (_monte_carlo_case(mc_draws) for _ in range(rounds)),
@@ -303,14 +431,21 @@ def run_bench(smoke: bool = False) -> dict:
         (_portfolio_thousand_case(*thousand_shape) for _ in range(rounds)),
         key=lambda case: case["speedup"],
     )
+    prior = max(
+        (_prior_draws_case(prior_draws) for _ in range(rounds)),
+        key=lambda case: case["speedup"],
+    )
     return {
         "bench": "bench_perf_engine",
-        "mode": "smoke" if smoke else "full",
+        "mode": mode,
         "python": sys.version.split()[0],
         "monte_carlo": mc,
         "partition_sweep": sweep,
         "portfolio_volume_sweep": portfolio,
         "portfolio_thousand_systems": thousand,
+        "prior_draws": prior,
+        "floors": dict(FLOORS),
+        "smoke_floors": dict(SMOKE_FLOORS),
     }
 
 
@@ -319,6 +454,7 @@ def _report(results: dict) -> str:
     sweep = results["partition_sweep"]
     portfolio = results["portfolio_volume_sweep"]
     thousand = results["portfolio_thousand_systems"]
+    prior = results["prior_draws"]
     return "\n".join(
         [
             f"engine perf bench ({results['mode']})",
@@ -338,8 +474,40 @@ def _report(results: dict) -> str:
             f"scalar {thousand['naive_systems_per_sec']:>9.0f}/s   "
             f"vector {thousand['engine_systems_per_sec']:>10.0f}/s   "
             f"speedup {thousand['speedup']:.1f}x",
+            f"  prior draws     {prior['draws']:>6} draws   "
+            f"percall {prior['naive_draws_per_sec']:>8.0f}/s   "
+            f"vector {prior['fast_draws_per_sec']:>10.0f}/s   "
+            f"speedup {prior['speedup']:.1f}x",
         ]
     )
+
+
+def _floor_breaches(results: dict, floors: dict) -> list[str]:
+    """Human-readable list of cases falling below their floor."""
+    return [
+        f"{case}: {results[case]['speedup']:.2f}x < {floor:.2f}x"
+        for case, floor in floors.items()
+        if results[case]["speedup"] < floor
+    ]
+
+
+def _gate_floors() -> dict:
+    """Smoke floors as recorded in the committed BENCH_engine.json.
+
+    Keyed by the in-module ``SMOKE_FLOORS`` (so every current bench
+    case is always gated, even before a full run re-records the JSON),
+    with the recorded value taking precedence per case; recorded cases
+    that no longer exist are ignored."""
+    floors = dict(SMOKE_FLOORS)
+    try:
+        with open(RESULT_PATH, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle).get("smoke_floors") or {}
+    except (OSError, ValueError):
+        recorded = {}
+    for case in floors:
+        if case in recorded:
+            floors[case] = recorded[case]
+    return floors
 
 
 @pytest.mark.perf
@@ -349,15 +517,7 @@ def test_perf_engine_full():
     print()
     print(_report(results))
     _write(results, RESULT_PATH)
-    assert results["monte_carlo"]["speedup"] >= MC_SPEEDUP_FLOOR
-    assert results["partition_sweep"]["speedup"] >= SWEEP_SPEEDUP_FLOOR
-    assert (
-        results["portfolio_volume_sweep"]["speedup"] >= PORTFOLIO_SPEEDUP_FLOOR
-    )
-    assert (
-        results["portfolio_thousand_systems"]["speedup"]
-        >= THOUSAND_SPEEDUP_FLOOR
-    )
+    assert not _floor_breaches(results, FLOORS)
 
 
 def _write(results: dict, path: str) -> None:
@@ -374,34 +534,43 @@ def main(argv: list[str] | None = None) -> int:
         help="small draws/grid, no JSON output, no speedup floors",
     )
     parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="CI regression gate: run the smoke shapes and fail unless "
+        "every case meets the smoke_floors recorded in BENCH_engine.json",
+    )
+    parser.add_argument(
         "--out",
         default=None,
-        help=f"result path (default: {RESULT_PATH}; smoke mode writes "
-        "only when --out is given)",
+        help=f"result path (default: {RESULT_PATH}; smoke/gate modes "
+        "write only when --out is given)",
     )
     args = parser.parse_args(argv)
 
-    results = run_bench(smoke=args.smoke)
+    mode = "gate" if args.gate else ("smoke" if args.smoke else "full")
+    results = run_bench(mode=mode)
     print(_report(results))
-    out = args.out if args.out is not None else (None if args.smoke else RESULT_PATH)
+    out = args.out if args.out is not None else (
+        None if mode != "full" else RESULT_PATH
+    )
     if out:
         _write(results, out)
         print(f"wrote {out}")
-    if not args.smoke:
-        ok = (
-            results["monte_carlo"]["speedup"] >= MC_SPEEDUP_FLOOR
-            and results["partition_sweep"]["speedup"] >= SWEEP_SPEEDUP_FLOOR
-            and results["portfolio_volume_sweep"]["speedup"]
-            >= PORTFOLIO_SPEEDUP_FLOOR
-            and results["portfolio_thousand_systems"]["speedup"]
-            >= THOUSAND_SPEEDUP_FLOOR
-        )
-        if not ok:
+    if args.gate:
+        breaches = _floor_breaches(results, _gate_floors())
+        if breaches:
             print(
-                f"FAIL: below acceptance floors "
-                f"({MC_SPEEDUP_FLOOR:.0f}x MC, {SWEEP_SPEEDUP_FLOOR:.0f}x "
-                f"sweep, {PORTFOLIO_SPEEDUP_FLOOR:.0f}x portfolio, "
-                f"{THOUSAND_SPEEDUP_FLOOR:.0f}x thousand-system solve)",
+                "GATE FAIL: below the smoke floors recorded in "
+                f"BENCH_engine.json: {'; '.join(breaches)}",
+                file=sys.stderr,
+            )
+            return 1
+        print("gate passed: all smoke floors met")
+    elif mode == "full":
+        breaches = _floor_breaches(results, FLOORS)
+        if breaches:
+            print(
+                f"FAIL: below acceptance floors: {'; '.join(breaches)}",
                 file=sys.stderr,
             )
             return 1

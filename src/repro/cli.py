@@ -473,7 +473,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "fast", "naive"],
         default="auto",
         help="closed-form fast path (default) or the object-rebuilding "
-        "oracle (identical samples)",
+        "oracle (identical samples, also with --yield-model / "
+        "--wafer-geometry)",
     )
     _add_yield_arguments(montecarlo)
 

@@ -143,18 +143,21 @@ class ConfigRegistries:
             message = f"{context}: {error}" if context else str(error)
             raise ConfigError(message) from None
 
-        # One bound model per node object (a study prices a fixed node
-        # set, so binding once beats re-constructing per die).
-        models: dict[int, tuple] = {}
+        # One bound model per node (a study prices a fixed node set, so
+        # binding once beats re-constructing per die).  Keyed by node
+        # name with an identity re-check: long-lived study nodes hit,
+        # while Monte-Carlo churn (a fresh defect-scaled node per draw,
+        # same name) re-binds in place instead of growing the cache.
+        models: dict[str, tuple] = {}
 
         def model_for(node: ProcessNode):
             if entry is None:
                 return None
-            cached = models.get(id(node))
+            cached = models.get(node.name)
             if cached is not None and cached[0] is node:
                 return cached[1]
             model = entry.for_node(node)
-            models[id(node)] = (node, model)
+            models[node.name] = (node, model)
             return model
 
         def price_die(node: ProcessNode, area: float):

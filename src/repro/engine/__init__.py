@@ -10,6 +10,9 @@ Three layers, documented in PERFORMANCE.md:
   (``evaluate_many`` / ``sweep`` / ``grid``) with optional
   ``concurrent.futures`` pools, which ``repro.explore`` and the CLI
   route through;
+* ``repro.engine.rng`` — vectorized ``random.Random.gauss`` /
+  defect-prior streams via exact MT19937 state transplant,
+  bit-identical to the per-call oracle;
 * ``repro.engine.fastmc`` — closed-form Monte-Carlo evaluation that
   prices each draw as pure float arithmetic on re-sampled yields;
 * ``repro.engine.fastportfolio`` — :class:`PortfolioEngine` batch
@@ -37,6 +40,9 @@ _EXPORTS = {
     "default_engine": "repro.engine.costengine",
     "MonteCarloPlan": "repro.engine.fastmc",
     "sample_re_costs": "repro.engine.fastmc",
+    "gauss_fill": "repro.engine.rng",
+    "sample_prior": "repro.engine.rng",
+    "sample_prior_array": "repro.engine.rng",
     "partition_re_cost": "repro.engine.fastsweep",
     "soc_re_cost": "repro.engine.fastsweep",
     "PortfolioCosts": "repro.engine.fastportfolio",

@@ -238,6 +238,37 @@ class CostEngine:
             re_cost=self.evaluate_re(system, die_cost_fn=die_cost_fn),
         )
 
+    def monte_carlo(
+        self,
+        system: System,
+        draws: int = 500,
+        sigma: float = 0.15,
+        seed: int = 0,
+        die_cost_fn: Callable | None = None,
+    ) -> list[float]:
+        """Closed-form Monte-Carlo RE samples under defect uncertainty.
+
+        The batch front-end to :func:`repro.engine.fastmc.
+        sample_re_costs`: one compiled plan, a vectorized
+        MT19937-transplanted prior stream (``repro.engine.rng``) and
+        batch evaluation — draw-for-draw bit-identical to the
+        object-rebuilding oracle
+        (:func:`repro.explore.montecarlo.monte_carlo_cost_naive`).
+        ``die_cost_fn`` carries registry-named yield-model /
+        wafer-geometry overrides into every draw.  Distribution
+        statistics and method selection live one layer up in
+        :func:`repro.explore.montecarlo.monte_carlo_cost`.
+        """
+        from repro.engine.fastmc import sample_re_costs
+
+        return sample_re_costs(
+            system,
+            draws=draws,
+            sigma=sigma,
+            seed=seed,
+            die_cost_fn=die_cost_fn,
+        )
+
     # ------------------------------------------------------------------
     # batch evaluation
     # ------------------------------------------------------------------

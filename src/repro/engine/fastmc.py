@@ -21,23 +21,41 @@ floating-point operations, replicating the oracle's expression ordering
 bit-for-bit (negative-binomial yield, ``raw / y`` KGD pricing and the
 ``RECost.total`` association).
 
-When numpy is available, :func:`sample_re_costs` evaluates all draws at
-once (:meth:`MonteCarloPlan.evaluate_batch`): the exact IEEE-754
-operations (multiply, divide, add) vectorize over the draw axis in the
-same per-term order as the scalar loop, while the two transcendentals —
-the prior's ``exp`` and the yield's ``pow`` — stay on the same libm
-calls the oracle makes (numpy's SIMD ``exp``/``power`` differ from libm
-in the last ulp, which would break the bit-parity contract).  Without
-numpy the per-draw scalar loop is used; both paths are draw-for-draw
+The pipeline is vectorized end-to-end when numpy is available:
+
+* **prior draws** come from ``repro.engine.rng`` — the MT19937 state of
+  the seeded ``random.Random`` is transplanted into numpy, the
+  Box-Muller ``gauss`` cadence (cached spare included) is replicated
+  over arrays, and the stream is bit-identical to per-call draws;
+* **evaluation** runs through :meth:`MonteCarloPlan.evaluate_batch`:
+  the exact IEEE-754 operations (multiply, divide, add) vectorize over
+  the draw axis in the same per-term order as the scalar loop, while
+  the yield's ``pow`` stays on the same libm calls the oracle makes
+  (numpy's SIMD ``power`` differs from libm in the last ulp, which
+  would break the bit-parity contract).
+
+Without numpy the same stream comes from the per-call stdlib loop
+(``repro.engine.rng`` falls back to it — one scalar code path) and the
+per-draw scalar evaluator is used; both pipelines are draw-for-draw
 bit-identical to the oracle (``tests/test_engine.py``,
 ``tests/test_fastmc_vectorized.py``).
+
+Registry-named yield models / wafer geometries price through the same
+plan: ``compile(system, die_cost_fn=...)`` captures the override (the
+``(node, area) -> DieCost`` closure of
+:meth:`repro.config.ConfigRegistries.die_cost_fn`), and each draw then
+re-prices every unique chip through it on a defect-scaled node —
+exactly the calls ``compute_re_cost`` would make on a perturbed system,
+without rebuilding the object graph.  The prior stream stays vectorized
+and the packaging stays affine, so ``method="fast"`` accepts overrides
+uniformly with the naive path.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 try:  # numpy accelerates the draw loop; the model never requires it
     import numpy as _np
@@ -47,8 +65,10 @@ except ImportError:  # pragma: no cover - exercised via _sample_loop tests
 from repro.core.system import System
 from repro.wafer.diecache import cached_die_cost
 from repro.engine.packaging_affine import PackagingAffine, linearize_packaging
+from repro.engine.rng import sample_prior, sample_prior_array
 from repro.errors import InvalidParameterError
-from repro.wafer.die import DieSpec
+from repro.process.node import ProcessNode
+from repro.wafer.die import DieCost, DieSpec
 from repro.yieldmodel.models import MM2_PER_CM2
 from repro.yieldmodel.sampling import DefectDensityPrior
 
@@ -63,6 +83,7 @@ class _ChipTerm:
     area: float
     raw: float
     count: int
+    node: ProcessNode
 
 
 @dataclass(frozen=True)
@@ -70,21 +91,36 @@ class MonteCarloPlan:
     """Precompiled closed-form evaluator for one system.
 
     ``evaluate`` maps per-node defect-density scales to the per-unit RE
-    total, matching ``compute_re_cost(_perturbed_system(system, scales))
-    .total`` exactly.
+    total, matching ``compute_re_cost(_perturbed_system(system, scales)
+    [, die_cost_fn]).total`` exactly — with the plan's ``die_cost_fn``
+    (if any) supplying every die price, like the naive path's.
     """
 
     node_names: tuple[str, ...]
     terms: tuple[_ChipTerm, ...]
     affine: PackagingAffine | None
     system: System
+    die_cost_fn: Callable[[ProcessNode, float], DieCost] | None = None
 
     @classmethod
-    def compile(cls, system: System) -> "MonteCarloPlan":
-        """Precompute the draw-invariant structure of ``system``."""
+    def compile(
+        cls,
+        system: System,
+        die_cost_fn: Callable[[ProcessNode, float], DieCost] | None = None,
+    ) -> "MonteCarloPlan":
+        """Precompute the draw-invariant structure of ``system``.
+
+        ``die_cost_fn`` optionally replaces the default (memoized
+        negative-binomial) die pricing for compile-time raw costs *and*
+        every per-draw re-pricing — the hook registry-named yield
+        models / wafer geometries arrive through.
+        """
         terms = []
         for chip, count in system.unique_chips():
-            cost = cached_die_cost(DieSpec(area=chip.area, node=chip.node))
+            if die_cost_fn is None:
+                cost = cached_die_cost(DieSpec(area=chip.area, node=chip.node))
+            else:
+                cost = die_cost_fn(chip.node, chip.area)
             terms.append(
                 _ChipTerm(
                     node_name=chip.node.name,
@@ -93,6 +129,7 @@ class MonteCarloPlan:
                     area=chip.area,
                     raw=cost.raw,
                     count=count,
+                    node=chip.node,
                 )
             )
         packager = (
@@ -107,6 +144,7 @@ class MonteCarloPlan:
             terms=tuple(terms),
             affine=affine,
             system=system,
+            die_cost_fn=die_cost_fn,
         )
 
     def evaluate(self, scales: dict[str, float]) -> float:
@@ -116,16 +154,30 @@ class MonteCarloPlan:
         kgd_total = 0.0
         for term in self.terms:
             scale = scales.get(term.node_name, 1.0)
-            # Exact replication of NegativeBinomialYield.die_yield on the
-            # perturbed node (D' = D * s), then DieCost's raw/yield split.
-            density = term.defect_density * scale
-            defects = density * term.area / MM2_PER_CM2
-            die_yield = (1.0 + defects / term.cluster_param) ** (
-                -term.cluster_param
-            )
-            total = term.raw / die_yield
-            defect = total - term.raw
-            raw_chips += term.raw * term.count
+            if self.die_cost_fn is None:
+                # Exact replication of NegativeBinomialYield.die_yield on
+                # the perturbed node (D' = D * s), then DieCost's
+                # raw/yield split.
+                density = term.defect_density * scale
+                defects = density * term.area / MM2_PER_CM2
+                die_yield = (1.0 + defects / term.cluster_param) ** (
+                    -term.cluster_param
+                )
+                raw = term.raw
+                total = raw / die_yield
+                defect = total - raw
+            else:
+                # Re-price through the override on the defect-scaled
+                # node — the identical call the naive path makes per
+                # perturbed chip, minus the object-graph rebuild.
+                node = term.node.with_defect_density(
+                    term.defect_density * scale
+                )
+                cost = self.die_cost_fn(node, term.area)
+                raw = cost.raw
+                defect = cost.defect
+                total = cost.total
+            raw_chips += raw * term.count
             chip_defects += defect * term.count
             kgd_total += total * term.count
 
@@ -161,6 +213,12 @@ class MonteCarloPlan:
             raise InvalidParameterError(
                 "evaluate_batch needs an affine packaging decomposition; "
                 "use evaluate() per draw for non-affine technologies"
+            )
+        if self.die_cost_fn is not None:
+            raise InvalidParameterError(
+                "evaluate_batch prices with the baked-in negative "
+                "binomial; a die-cost override re-prices per draw — "
+                "use evaluate() per draw instead"
             )
         index = {name: i for i, name in enumerate(self.node_names)}
         scales = _np.asarray(scale_rows, dtype=_np.float64).reshape(
@@ -209,35 +267,35 @@ def sample_re_costs(
     draws: int = 500,
     sigma: float = 0.15,
     seed: int = 0,
+    die_cost_fn: Callable[[ProcessNode, float], DieCost] | None = None,
 ) -> list[float]:
     """Fast-path sampler mirroring the naive Monte-Carlo loop.
 
     Draw-for-draw identical to the object-rebuilding oracle: the RNG
     stream, per-node scale assignment and cost arithmetic all match.
-    Uses the numpy-vectorized batch evaluator when numpy is installed
-    and the system's packaging is affine; falls back to the scalar
-    per-draw loop otherwise.
+    Prior draws come vectorized from ``repro.engine.rng``; evaluation
+    uses the numpy batch evaluator when numpy is installed, the
+    system's packaging is affine and die pricing is the default, and
+    the scalar per-draw loop otherwise.  ``die_cost_fn`` carries
+    registry-named yield-model / wafer-geometry overrides
+    (:meth:`repro.config.ConfigRegistries.die_cost_fn`) into every
+    draw's die pricing.
     """
     if draws <= 0:
         raise InvalidParameterError(f"draws must be > 0, got {draws}")
-    plan = MonteCarloPlan.compile(system)
+    plan = MonteCarloPlan.compile(system, die_cost_fn=die_cost_fn)
     rng = random.Random(seed)
     prior = DefectDensityPrior(mode=1.0, sigma=sigma)
-    if _np is None or plan.affine is None:
+    if _np is None or plan.affine is None or plan.die_cost_fn is not None:
         return _sample_loop(plan, rng, prior, draws)
-    # The prior draws stay on the oracle's RNG stream and libm exp
-    # (draw-major, node_names order — exactly the scalar dict fill).
-    count = draws * len(plan.node_names)
-    if prior.lower is None and prior.upper is None:
-        # Inline DefectDensityPrior.sample's unbounded arithmetic; the
-        # expression matches it operation-for-operation.
-        import math
-
-        gauss, exp, mode, sigma_ = rng.gauss, math.exp, prior.mode, prior.sigma
-        flat = [mode * exp(sigma_ * gauss(0.0, 1.0)) for _ in range(count)]
-    else:  # pragma: no cover - sample_re_costs builds an unbounded prior
-        flat = [prior.sample(rng) for _ in range(count)]
-    return plan.evaluate_batch(_np.array(flat, dtype=_np.float64))
+    # The prior stream is draw-major in node_names order — exactly the
+    # scalar dict fill — and bit-identical to per-call draws.
+    flat = sample_prior_array(prior, rng, draws * len(plan.node_names))
+    return plan.evaluate_batch(
+        _np.asarray(flat, dtype=_np.float64).reshape(
+            draws, len(plan.node_names)
+        )
+    )
 
 
 def _sample_loop(
@@ -246,9 +304,19 @@ def _sample_loop(
     prior: DefectDensityPrior,
     draws: int,
 ) -> list[float]:
-    """Scalar per-draw sampler (numpy-free fallback and parity oracle)."""
+    """Scalar per-draw evaluator (numpy-free fallback and parity oracle).
+
+    Shares the single prior-stream code path with the vectorized
+    sampler (``repro.engine.rng.sample_prior``), so numpy presence can
+    only change evaluation *speed*, never a draw.
+    """
+    names = plan.node_names
+    width = len(names)
+    flat = sample_prior(prior, rng, draws * width)
     samples = []
-    for _ in range(draws):
-        scales = {name: prior.sample(rng) for name in plan.node_names}
+    for start in range(0, draws * width, width):
+        scales = {
+            name: flat[start + offset] for offset, name in enumerate(names)
+        }
         samples.append(plan.evaluate(scales))
     return samples

@@ -8,7 +8,10 @@ Two evaluation paths produce identical samples:
 
 * the **fast path** (default when no custom metric is given) compiles a
   :class:`repro.engine.fastmc.MonteCarloPlan` once and evaluates each
-  draw as closed-form float arithmetic on re-sampled yields;
+  draw as closed-form float arithmetic on re-sampled yields, drawing
+  the prior stream vectorized via ``repro.engine.rng``'s MT19937 state
+  transplant (registry die-cost overrides re-price per draw through
+  the same plan);
 * the **naive path** (:func:`monte_carlo_cost_naive`) rebuilds a fully
   validated ``System``/``Chip`` graph per draw.  It is kept as the
   parity oracle — ``tests/test_engine.py`` asserts draw-for-draw
@@ -145,34 +148,24 @@ def monte_carlo_cost(
         seed: RNG seed.
         metric: Override for the sampled quantity; defaults to total RE
             cost per unit.  A custom metric always uses the naive path.
-        method: ``"auto"`` (closed-form fast path unless a metric or
-            die-cost override is given), ``"fast"`` (closed form;
-            rejects both) or ``"naive"`` (per-draw object rebuilding).
+        method: ``"auto"`` (closed-form fast path unless a metric is
+            given), ``"fast"`` (closed form; rejects a metric) or
+            ``"naive"`` (per-draw object rebuilding).
         die_cost_fn: Optional ``(node, area) -> DieCost`` override
             (registry-named yield models / wafer geometries,
             :meth:`repro.config.ConfigRegistries.die_cost_fn`) applied
-            to every draw.  The closed-form plan bakes in the
-            node-default negative binomial, so an override always
-            samples through the naive path.
+            to every draw on every path — the fast plan re-prices each
+            draw's chips through it on defect-scaled nodes, so
+            ``method="fast"`` accepts overrides uniformly.
     """
     if method not in _METHODS:
         raise InvalidParameterError(
             f"method must be one of {_METHODS}, got {method!r}"
         )
-    if die_cost_fn is not None:
-        if metric is not None:
-            raise InvalidParameterError(
-                "pass either metric or die_cost_fn, not both"
-            )
-        if method == "fast":
-            raise InvalidParameterError(
-                "the closed-form fast path prices with the node-default "
-                "yield model and wafer; use method 'naive' (or 'auto') "
-                "with a die-cost override"
-            )
-        metric = lambda s: compute_re_cost(  # noqa: E731
-            s, die_cost_fn=die_cost_fn
-        ).total
+    if die_cost_fn is not None and metric is not None:
+        raise InvalidParameterError(
+            "pass either metric or die_cost_fn, not both"
+        )
     if method == "fast" and metric is not None:
         raise InvalidParameterError(
             "the closed-form fast path samples the RE total; "
@@ -182,8 +175,20 @@ def monte_carlo_cost(
         from repro.engine.fastmc import sample_re_costs
 
         return CostDistribution(
-            samples=tuple(sample_re_costs(system, draws=draws, sigma=sigma, seed=seed))
+            samples=tuple(
+                sample_re_costs(
+                    system,
+                    draws=draws,
+                    sigma=sigma,
+                    seed=seed,
+                    die_cost_fn=die_cost_fn,
+                )
+            )
         )
+    if die_cost_fn is not None:
+        metric = lambda s: compute_re_cost(  # noqa: E731
+            s, die_cost_fn=die_cost_fn
+        ).total
     return monte_carlo_cost_naive(
         system, draws=draws, sigma=sigma, seed=seed, metric=metric
     )

@@ -18,11 +18,14 @@ non-figure study (``systems``, ``partition_sweep``, ``partition_grid``,
 :meth:`repro.config.ConfigRegistries.die_cost_fn` into a die-pricing
 override threaded into the engine entry point the executor uses —
 unknown names raise a :class:`~repro.errors.ConfigError` naming the
-study and listing the available entries.  ``reuse`` studies run on the
-vectorized :class:`~repro.engine.fastportfolio.PortfolioEngine` and may
-declare a closed-form ``volume_sweep`` (a list of volume scales) whose
-per-scale averages render as an extra table and export through the
-sinks.
+study and listing the available entries.  That includes ``montecarlo``
+with ``method: "fast"``: the closed-form plan re-prices each draw
+through the override while drawing its prior stream vectorized
+(``repro.engine.rng``), so naming a model never forces the naive
+sampler.  ``reuse`` studies run on the vectorized
+:class:`~repro.engine.fastportfolio.PortfolioEngine` and may declare a
+closed-form ``volume_sweep`` (a list of volume scales) whose per-scale
+averages render as an extra table and export through the sinks.
 """
 
 from __future__ import annotations

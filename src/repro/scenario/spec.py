@@ -141,9 +141,9 @@ class MonteCarloStudy:
     """RE-cost distribution under defect-density uncertainty.
 
     A named ``yield_model`` / ``wafer_geometry`` reprices every draw
-    through the registry entry; because the closed-form fast path bakes
-    in the node-default negative binomial, naming either routes the
-    study through the naive sampler (``method: "fast"`` is rejected).
+    through the registry entry on every method — the closed-form fast
+    plan re-prices each draw's chips through the override on
+    defect-scaled nodes, draw-for-draw identical to the naive sampler.
     """
 
     kind = "montecarlo"
@@ -159,15 +159,6 @@ class MonteCarloStudy:
     method: str = "auto"
     yield_model: str = ""
     wafer_geometry: str = ""
-
-    def __post_init__(self) -> None:
-        if self.method == "fast" and (self.yield_model or self.wafer_geometry):
-            raise ConfigError(
-                f"montecarlo study {self.name!r}: the closed-form 'fast' "
-                "path prices with the node-default yield model and wafer; "
-                "use method 'naive' (or 'auto') with a named "
-                "yield_model/wafer_geometry"
-            )
 
 
 @register_study_type

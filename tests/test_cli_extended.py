@@ -74,3 +74,62 @@ class TestMonteCarlo:
         )
         assert code == 0
         assert "mcm" in out
+
+
+class TestMonteCarloRegistryOverrides:
+    """CLI `montecarlo --method fast` with registry-named die pricing."""
+
+    def test_fast_with_registry_names_succeeds(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "montecarlo", "--area", "400", "--node", "5nm",
+            "--draws", "40", "--method", "fast",
+            "--yield-model", "poisson", "--wafer-geometry", "300mm",
+        )
+        assert code == 0
+        for label in ("mean", "std", "p05", "p50", "p95"):
+            assert label in out
+
+    def test_fast_matches_naive_with_registry_names(self, capsys):
+        base = [
+            "montecarlo", "--area", "800", "--node", "5nm",
+            "--integration", "2.5d", "--chiplets", "4",
+            "--draws", "60", "--seed", "7",
+            "--yield-model", "murphy", "--wafer-geometry", "300mm",
+        ]
+        code_fast, fast, _ = run_cli(capsys, *base, "--method", "fast")
+        code_naive, naive, _ = run_cli(capsys, *base, "--method", "naive")
+        assert code_fast == code_naive == 0
+        assert fast == naive
+
+    def test_registry_names_change_the_numbers(self, capsys):
+        base = [
+            "montecarlo", "--area", "400", "--node", "5nm",
+            "--draws", "40", "--seed", "3", "--method", "fast",
+        ]
+        _code, plain, _ = run_cli(capsys, *base)
+        _code, priced, _ = run_cli(capsys, *base, "--yield-model", "poisson")
+        assert plain != priced
+
+    def test_unknown_yield_model_lists_available(self, capsys):
+        code, _out, err = run_cli(
+            capsys,
+            "montecarlo", "--area", "400", "--node", "5nm",
+            "--draws", "10", "--method", "fast",
+            "--yield-model", "nope",
+        )
+        assert code == 2
+        assert "unknown yield model 'nope'" in err
+        assert "negative-binomial" in err
+        assert "poisson" in err
+
+    def test_unknown_wafer_geometry_lists_available(self, capsys):
+        code, _out, err = run_cli(
+            capsys,
+            "montecarlo", "--area", "400", "--node", "5nm",
+            "--draws", "10", "--method", "fast",
+            "--wafer-geometry", "nope",
+        )
+        assert code == 2
+        assert "unknown wafer geometry 'nope'" in err
+        assert "300mm" in err

@@ -100,12 +100,15 @@ class TestKnownNamesReprice:
                                   wafer_geometry="prod"))
         assert base.rows != priced.rows
 
-    def test_montecarlo_fast_with_named_model_rejected(self):
-        with pytest.raises(ConfigError, match="fast"):
-            scenario_from_dict(
-                _doc(_study("montecarlo", yield_model="p97",
-                            method="fast"))
-            )
+    def test_montecarlo_fast_with_named_model_matches_naive(self):
+        """The closed-form fast path accepts registry names and stays
+        draw-for-draw identical to the naive sampler under them."""
+        fast = self._run(_study("montecarlo", yield_model="p97",
+                                wafer_geometry="prod", method="fast"))
+        naive = self._run(_study("montecarlo", yield_model="p97",
+                                 wafer_geometry="prod", method="naive"))
+        assert fast.data.samples == naive.data.samples
+        assert fast.rows == naive.rows
 
     def test_montecarlo_named_model_keeps_determinism(self):
         one = self._run(_study("montecarlo", yield_model="p97"))
