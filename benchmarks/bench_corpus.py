@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Corpus runner benchmark: cold compute vs store-served resume.
+
+Runs the example granularity corpus (6 scenarios, 12 units) twice
+against one store and reports the speedup the content-addressed cache
+buys on resume — the quantitative side of the "zero recomputation"
+contract proved by ``tools/corpus_smoke.py``.
+
+Run from the repo root: ``PYTHONPATH=src python benchmarks/bench_corpus.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _util import save_and_print  # noqa: E402
+
+from repro.corpus import CorpusOptions, load_corpus, run_corpus  # noqa: E402
+
+CORPUS_FILE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+    "corpus_granularity.json",
+)
+
+
+def main() -> int:
+    corpus = load_corpus(CORPUS_FILE)
+    options = CorpusOptions(workers=2, timeout=300.0)
+    lines = [
+        f"corpus bench: {corpus.name} "
+        f"({len(corpus.scenarios)} scenarios, {len(corpus.units)} units)"
+    ]
+    with tempfile.TemporaryDirectory(prefix="bench-corpus-") as store:
+        started = time.perf_counter()
+        cold = run_corpus(corpus, store, options=options)
+        cold_s = time.perf_counter() - started
+        assert cold.exit_code == 0, "cold corpus run must complete"
+
+        started = time.perf_counter()
+        warm = run_corpus(corpus, store, options=options)
+        warm_s = time.perf_counter() - started
+        assert warm.exit_code == 0, "resume run must complete"
+        counts = warm.counts()
+        assert counts["from_store"] == len(corpus.units), (
+            "resume must serve every unit from the store, got "
+            f"{counts['from_store']}/{len(corpus.units)}"
+        )
+
+        lines.append(f"cold compute: {cold_s:8.3f} s  (computed {len(corpus.units)})")
+        lines.append(f"store resume: {warm_s:8.3f} s  (from store {counts['from_store']})")
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        lines.append(f"resume speedup: {speedup:6.1f}x")
+    save_and_print("bench_corpus", "\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

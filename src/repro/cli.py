@@ -12,6 +12,13 @@ Subcommands::
     figure {2,4,5,6,8,9,10}   regenerate a paper figure
     run FILE                  execute a declarative scenario JSON
     portfolio FILE            report an externally-defined portfolio
+    corpus run FILE           run a scenario corpus against a result store
+    corpus status FILE        per-study state of a corpus run's manifest
+
+``corpus run`` exit codes: 0 = every unit completed, 3 = partial
+failure (failed units recorded in the manifest), 4 = store corruption
+was detected (entries quarantined and recomputed), 2 = usage/model
+error before the run started.
 """
 
 from __future__ import annotations
@@ -379,6 +386,97 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    if args.corpus_command == "run":
+        return _corpus_run(args)
+    return _corpus_status(args)
+
+
+def _corpus_run(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusOptions, load_corpus, run_corpus
+
+    corpus = load_corpus(args.file)
+    options = CorpusOptions(
+        workers=args.workers,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        backoff=args.backoff,
+        keep_going=not args.fail_fast,
+        inline=args.inline,
+    )
+    print(
+        f"Corpus: {corpus.name} — {len(corpus.scenarios)} scenarios, "
+        f"{len(corpus.units)} units, store {args.store}"
+    )
+    report = run_corpus(corpus, args.store, options=options)
+    counts = report.counts()
+    if report.interrupted_previous_run:
+        print("note: previous run was interrupted; resuming from the store")
+    print(
+        f"completed {counts['completed']}/{len(corpus.units)} "
+        f"(from store: {counts['from_store']}, computed: {counts['computed']}), "
+        f"failed {counts['failed']}"
+    )
+    for outcome in report.outcomes:
+        if outcome.status == "failed":
+            print(
+                f"  FAILED {outcome.unit.unit_id} "
+                f"[{outcome.error_type}] after {outcome.attempts} attempt(s): "
+                f"{outcome.error}"
+            )
+    if report.corrupt_entries:
+        print(
+            f"store corruption: {len(report.corrupt_entries)} entries "
+            "quarantined and recomputed:"
+        )
+        for path in report.corrupt_entries:
+            print(f"  {path}")
+    if report.aborted:
+        print("aborted: --fail-fast stopped the run at the first failure")
+    print(f"manifest: {report.manifest_path}")
+    return report.exit_code
+
+
+def _corpus_status(args: argparse.Namespace) -> int:
+    from repro.corpus import Manifest, ResultStore, load_corpus, manifest_path
+
+    corpus = load_corpus(args.file)
+    store = ResultStore(args.store)
+    manifest = Manifest.load(manifest_path(store.manifests_dir, corpus.name))
+    table = Table(
+        ["unit", "status", "attempts", "source", "error"],
+        title=f"Corpus status: {corpus.name} ({args.store})",
+    )
+    records = manifest.units if manifest else {}
+    for unit in corpus.units:
+        record = records.get(unit.unit_id)
+        if record is None:
+            table.add_row([unit.unit_id, "unscheduled", "", "", ""])
+            continue
+        error = f"{record.error_type}: {record.error}" if record.error_type else ""
+        table.add_row(
+            [unit.unit_id, record.status, record.attempts or "",
+             record.source, error[:60]]
+        )
+    print(table.render())
+    if manifest is None:
+        print("no manifest yet: this corpus has not been run against the store")
+        return 0
+    counts = manifest.counts()
+    state = "finished" if manifest.finished else (
+        "INTERRUPTED" if manifest.was_interrupted() else "in progress"
+    )
+    print(
+        f"last run: {state} — "
+        + ", ".join(f"{key} {value}" for key, value in counts.items() if value)
+    )
+    if manifest.interrupted_previous_run:
+        print("last run resumed from an interrupted one")
+    if manifest.corrupt_entries:
+        print(f"quarantined corrupt entries: {len(manifest.corrupt_entries)}")
+    return 0
+
+
 def _cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.config import load_portfolio
 
@@ -509,6 +607,58 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio = sub.add_parser("portfolio", help="report a portfolio JSON")
     portfolio.add_argument("file", help="path to a portfolio JSON document")
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="run or inspect a scenario corpus against a result store",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_run = corpus_sub.add_parser(
+        "run",
+        help="run every (scenario, study) unit, resuming from the store",
+    )
+    corpus_run.add_argument("file", help="path to a corpus JSON document")
+    corpus_run.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="content-addressed result store directory (created on demand)",
+    )
+    corpus_run.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (default: 2)",
+    )
+    corpus_run.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-study wall-clock timeout in seconds (default: 120)",
+    )
+    corpus_run.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries after a worker crash or timeout (default: 2)",
+    )
+    corpus_run.add_argument(
+        "--backoff", type=float, default=0.5,
+        help="retry backoff base in seconds, doubled per attempt "
+        "(default: 0.5)",
+    )
+    corpus_run.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort at the first failed unit (default: keep going and "
+        "record failures in the manifest)",
+    )
+    corpus_run.add_argument(
+        "--inline", action="store_true",
+        help="run units in-process (no worker pool, no timeout "
+        "enforcement; debugging aid)",
+    )
+
+    corpus_status = corpus_sub.add_parser(
+        "status", help="per-study state from the corpus manifest"
+    )
+    corpus_status.add_argument("file", help="path to a corpus JSON document")
+    corpus_status.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="result store directory the corpus was run against",
+    )
+
     return parser
 
 
@@ -523,6 +673,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "run": _cmd_run,
     "portfolio": _cmd_portfolio,
+    "corpus": _cmd_corpus,
 }
 
 

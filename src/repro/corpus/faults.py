@@ -1,0 +1,179 @@
+"""Env-gated fault injection for the corpus runner.
+
+The robustness claims of ``repro.corpus`` — crash retry, study
+timeouts, corrupt-entry recovery — are testable because the worker and
+the store expose deterministic failure hooks, armed exclusively through
+environment variables (production runs never pay for them):
+
+``REPRO_CORPUS_FAULTS``
+    JSON mapping of fault kinds to rules, e.g.::
+
+        {"crash":   {"match": "mc-5nm", "times": 2},
+         "delay":   {"match": "sweep",  "seconds": 30},
+         "corrupt": {"match": "grid",   "times": 1}}
+
+    ``match`` is a substring of the unit id (``<scenario>/<study>``;
+    empty matches every unit).  ``times`` caps how often the rule
+    fires (0 or omitted = always).  Kinds:
+
+    * ``crash``   — the worker process exits hard (``os._exit``)
+      before reporting a result, exactly like an OOM kill;
+    * ``delay``   — the worker sleeps ``seconds`` before executing,
+      long enough to trip a small ``--timeout``;
+    * ``corrupt`` — the runner flips a byte of the freshly written
+      store entry, so the *next* read fails its checksum.
+
+``REPRO_CORPUS_FAULT_STATE``
+    Directory for cross-process fire counters (required for ``times``
+    to count across worker processes and resumed runs).  Without it,
+    capped rules fire on every match within a single process only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import CorpusError
+
+FAULTS_ENV = "REPRO_CORPUS_FAULTS"
+FAULT_STATE_ENV = "REPRO_CORPUS_FAULT_STATE"
+
+#: Exit code of an injected crash (mirrors SIGKILL's 128+9).
+CRASH_EXIT_CODE = 137
+
+_KINDS = ("crash", "delay", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault: kind, unit-id substring, budget, parameters."""
+
+    kind: str
+    match: str = ""
+    times: int = 0
+    seconds: float = 0.0
+
+    def matches(self, unit_id: str) -> bool:
+        return self.match in unit_id
+
+
+@dataclass
+class FaultPlan:
+    """The armed fault rules plus their fire-counter state directory."""
+
+    rules: tuple[FaultRule, ...] = ()
+    state_dir: str = ""
+    _local_counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_env(cls, environ: "Mapping[str, str] | None" = None) -> "FaultPlan":
+        environ = environ if environ is not None else os.environ
+        raw = environ.get(FAULTS_ENV, "")
+        if not raw:
+            return cls()
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise CorpusError(
+                f"{FAULTS_ENV}: invalid JSON ({error})"
+            ) from None
+        if not isinstance(payload, Mapping):
+            raise CorpusError(f"{FAULTS_ENV}: must be a JSON object")
+        unknown = sorted(set(payload) - set(_KINDS))
+        if unknown:
+            raise CorpusError(
+                f"{FAULTS_ENV}: unknown fault kinds {unknown} "
+                f"(known: {list(_KINDS)})"
+            )
+        rules = []
+        for kind, rule in payload.items():
+            if not isinstance(rule, Mapping):
+                raise CorpusError(f"{FAULTS_ENV}: {kind!r} rule must be an object")
+            rules.append(
+                FaultRule(
+                    kind=kind,
+                    match=str(rule.get("match", "")),
+                    times=int(rule.get("times", 0)),
+                    seconds=float(rule.get("seconds", 0.0)),
+                )
+            )
+        return cls(
+            rules=tuple(rules),
+            state_dir=environ.get(FAULT_STATE_ENV, ""),
+        )
+
+    # ------------------------------------------------------------------
+    # fire accounting
+    # ------------------------------------------------------------------
+
+    def _counter_key(self, rule: FaultRule, unit_id: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "-", f"{rule.kind}__{unit_id}")
+        return safe or "fault"
+
+    def _should_fire(self, rule: FaultRule, unit_id: str) -> bool:
+        if not rule.matches(unit_id):
+            return False
+        if rule.times <= 0:
+            return True
+        key = self._counter_key(rule, unit_id)
+        if self.state_dir:
+            os.makedirs(self.state_dir, exist_ok=True)
+            path = os.path.join(self.state_dir, key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    fired = int(handle.read().strip() or 0)
+            except (OSError, ValueError):
+                fired = 0
+            if fired >= rule.times:
+                return False
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(str(fired + 1))
+            return True
+        fired = self._local_counts.get(key, 0)
+        if fired >= rule.times:
+            return False
+        self._local_counts[key] = fired + 1
+        return True
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+
+    def on_worker_start(self, unit_id: str) -> None:
+        """Worker-side hook: apply delay, then crash, when armed."""
+        for rule in self.rules:
+            if rule.kind == "delay" and self._should_fire(rule, unit_id):
+                time.sleep(rule.seconds)
+        for rule in self.rules:
+            if rule.kind == "crash" and self._should_fire(rule, unit_id):
+                # Die the way a real kill does: no exception propagation,
+                # no result on the pipe, a bare nonzero exit code.
+                os._exit(CRASH_EXIT_CODE)
+
+    def corrupt_after_write(self, unit_id: str) -> bool:
+        """Runner-side hook: should the just-written entry be garbled?"""
+        return any(
+            rule.kind == "corrupt" and self._should_fire(rule, unit_id)
+            for rule in self.rules
+        )
+
+
+def corrupt_file(path: str) -> None:
+    """Flip one payload byte of ``path`` in place (fault injection only)."""
+    with open(path, "r+b") as handle:
+        data = handle.read()
+        if not data:
+            return
+        # Target a byte inside the payload section so the checksum, not
+        # the JSON parser, is what catches it when possible.
+        anchor = data.find(b'"payload"')
+        index = min(len(data) - 1, (anchor if anchor >= 0 else 0) + 12)
+        original = data[index:index + 1]
+        flipped = b"0" if original != b"0" else b"1"
+        handle.seek(index)
+        handle.write(flipped)

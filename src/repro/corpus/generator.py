@@ -1,0 +1,212 @@
+"""Corpus documents: a scenario template expanded over axes.
+
+A corpus document describes *thousands* of scenario runs as one JSON
+file::
+
+    {
+      "corpus": "granularity",
+      "description": "partition sweeps over node x area",
+      "template": {
+        "scenario": "grid-{node}-{area}",
+        "studies": [
+          {"kind": "partition_sweep", "name": "sweep",
+           "module_area": "$area", "node": "$node", "technology": "mcm"}
+        ]
+      },
+      "axes": {"node": ["7nm", "5nm"], "area": [100, 400, 800]}
+    }
+
+``axes`` is cartesian-expanded (sorted by axis name, values in listed
+order); each point instantiates the template with two substitution
+forms:
+
+* a string that is exactly ``"$axis"`` becomes the axis *value* with
+  its type preserved (numbers stay numbers);
+* ``"{axis}"`` inside a longer string is replaced textually (names,
+  descriptions).
+
+Expanded scenario names must be unique; when the template name carries
+no axis placeholder, a ``__axis-value`` suffix is appended
+automatically.  A corpus may also (or instead) list literal scenario
+documents under ``"scenarios"``.  Every expanded document is validated
+through :func:`repro.scenario.spec.scenario_from_dict` before anything
+runs, and each ``(scenario, study)`` pair becomes one
+:class:`UnitSpec` — the unit of scheduling, retry and storage.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigError, CorpusError
+from repro.scenario.spec import scenario_from_dict, study_to_dict
+
+from repro.corpus.hashing import spec_hash
+
+_TEMPLATE_KEYS = {"corpus", "name", "description", "template", "axes", "scenarios"}
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One schedulable unit of work: a study inside a scenario document."""
+
+    scenario: str
+    study: str
+    kind: str
+    document: Mapping[str, Any]
+    spec_hash: str
+
+    @property
+    def unit_id(self) -> str:
+        return f"{self.scenario}/{self.study}"
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A named corpus: expanded scenario documents plus their units."""
+
+    name: str
+    description: str
+    scenarios: tuple[Mapping[str, Any], ...]
+    units: tuple[UnitSpec, ...]
+
+
+def _substitute(value: Any, point: Mapping[str, Any]) -> Any:
+    if isinstance(value, Mapping):
+        return {key: _substitute(item, point) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_substitute(item, point) for item in value]
+    if isinstance(value, str):
+        if value.startswith("$") and value[1:] in point:
+            return point[value[1:]]
+        for axis, axis_value in point.items():
+            value = value.replace("{" + axis + "}", _format_axis(axis_value))
+        return value
+    return value
+
+
+def _format_axis(value: Any) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _point_suffix(point: Mapping[str, Any]) -> str:
+    return "__".join(
+        f"{axis}-{_format_axis(point[axis])}" for axis in sorted(point)
+    )
+
+
+def expand_template(
+    template: Mapping[str, Any], axes: Mapping[str, Any], corpus: str
+) -> list[dict[str, Any]]:
+    """Every axis point's scenario document, names made unique."""
+    if not isinstance(template, Mapping):
+        raise CorpusError(f"corpus {corpus!r}: 'template' must be an object")
+    if not isinstance(axes, Mapping):
+        raise CorpusError(f"corpus {corpus!r}: 'axes' must be an object")
+    for axis, values in axes.items():
+        if not isinstance(values, (list, tuple)) or not values:
+            raise CorpusError(
+                f"corpus {corpus!r}: axis {axis!r} must be a non-empty list"
+            )
+    names = sorted(axes)
+    documents: list[dict[str, Any]] = []
+    for combo in itertools.product(*(axes[axis] for axis in names)):
+        point = dict(zip(names, combo))
+        document = _substitute(template, point)
+        raw_name = str(template.get("scenario") or template.get("name") or corpus)
+        expanded = str(document.get("scenario") or document.get("name") or corpus)
+        if point and expanded == raw_name:
+            # The template name carried no placeholder: suffix the point
+            # so every expansion stays addressable and unique.
+            expanded = f"{expanded}__{_point_suffix(point)}"
+            document["scenario"] = expanded
+            document.pop("name", None)
+        documents.append(document)
+    return documents
+
+
+def corpus_from_dict(payload: Mapping[str, Any]) -> CorpusSpec:
+    """Parse, expand and validate a corpus document."""
+    if not isinstance(payload, Mapping):
+        raise CorpusError("corpus document must be a JSON object")
+    name = str(payload.get("corpus") or payload.get("name") or "")
+    if not name:
+        raise CorpusError("corpus document: missing key 'corpus'")
+    unknown = sorted(set(payload) - _TEMPLATE_KEYS)
+    if unknown:
+        raise CorpusError(f"corpus {name!r}: unknown keys {unknown}")
+    documents: list[dict[str, Any]] = []
+    if payload.get("template") is not None:
+        documents.extend(
+            expand_template(
+                payload["template"], payload.get("axes") or {}, name
+            )
+        )
+    for literal in payload.get("scenarios") or ():
+        if not isinstance(literal, Mapping):
+            raise CorpusError(
+                f"corpus {name!r}: 'scenarios' entries must be objects"
+            )
+        documents.append(dict(literal))
+    if not documents:
+        raise CorpusError(
+            f"corpus {name!r}: needs a 'template' (with 'axes') or 'scenarios'"
+        )
+
+    units: list[UnitSpec] = []
+    seen: set[str] = set()
+    for document in documents:
+        try:
+            spec = scenario_from_dict(document)
+        except ConfigError as error:
+            raise CorpusError(
+                f"corpus {name!r}: invalid expanded scenario: {error}"
+            ) from error
+        if spec.name in seen:
+            raise CorpusError(
+                f"corpus {name!r}: duplicate scenario name {spec.name!r} "
+                "after expansion (add an axis placeholder to the template "
+                "name)"
+            )
+        seen.add(spec.name)
+        sections = {
+            "nodes": document.get("nodes") or {},
+            "technologies": document.get("technologies") or {},
+            "d2d_interfaces": document.get("d2d_interfaces") or {},
+            "yield_models": document.get("yield_models") or {},
+            "wafer_geometries": document.get("wafer_geometries") or {},
+        }
+        for study in spec.studies:
+            units.append(
+                UnitSpec(
+                    scenario=spec.name,
+                    study=study.name,
+                    kind=study.kind,
+                    document=document,
+                    spec_hash=spec_hash(study_to_dict(study), sections),
+                )
+            )
+    return CorpusSpec(
+        name=name,
+        description=str(payload.get("description", "")),
+        scenarios=tuple(documents),
+        units=tuple(units),
+    )
+
+
+def load_corpus(path: str) -> CorpusSpec:
+    """Read and expand a corpus JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise CorpusError(f"{path}: invalid JSON ({error})") from None
+    except OSError as error:
+        raise CorpusError(f"{path}: {error.strerror or error}") from None
+    return corpus_from_dict(payload)

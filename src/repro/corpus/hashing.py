@@ -1,0 +1,116 @@
+"""Content addresses for corpus units: spec-hash and registry-hash.
+
+A corpus unit — one ``(scenario document, study)`` pair — is addressed
+by two SHA-256 digests:
+
+``spec_hash``
+    Over the canonical JSON of the study's serialized form
+    (``study_to_dict`` of the parsed study, so defaults and field order
+    are normalized) together with the scenario's custom registry
+    sections (nodes / technologies / d2d_interfaces / yield_models /
+    wafer_geometries).  The scenario *name* is deliberately excluded:
+    two scenarios declaring identical sections and studies produce the
+    same rows, so they share one store entry.
+
+``registry_hash``
+    Over a canonical snapshot of the *global* registries the scenario
+    sections layer on, serialized entry-by-entry through the registry
+    spec codecs (``node_to_spec`` and friends).  Editing a built-in
+    node, technology, D2D profile, yield model or wafer geometry
+    changes this hash and therefore invalidates every cached result —
+    the store can never serve rows priced under a different catalog.
+
+Both reuse the value-keying idiom of :mod:`repro.reuse.keys`
+(:func:`~repro.reuse.keys.stable_json`): hash the canonical JSON of a
+value, never object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping
+
+from repro.reuse.keys import stable_json
+
+#: Scenario sections that scope registry entries (hashed into spec_hash).
+SECTION_KEYS = (
+    "nodes",
+    "technologies",
+    "d2d_interfaces",
+    "yield_models",
+    "wafer_geometries",
+)
+
+
+def sha256_hex(text: str) -> str:
+    """Hex SHA-256 of ``text`` (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def canonical_hash(value: Any) -> str:
+    """Hex SHA-256 of the canonical JSON of a JSON-ready ``value``."""
+    return sha256_hex(stable_json(value))
+
+
+def spec_hash(
+    study_payload: Mapping[str, Any], sections: Mapping[str, Any]
+) -> str:
+    """Content address of one study under its scenario's custom sections.
+
+    ``study_payload`` is the study's serialized dict (``study_to_dict``
+    output); ``sections`` maps section names to their (possibly empty)
+    spec mappings.  Empty sections are dropped so a scenario that omits
+    a section hashes identically to one declaring it empty.
+    """
+    payload = {
+        "sections": {
+            key: sections.get(key) or {}
+            for key in SECTION_KEYS
+            if sections.get(key)
+        },
+        "study": dict(study_payload),
+    }
+    return canonical_hash(payload)
+
+
+def registry_snapshot() -> dict[str, Any]:
+    """JSON-ready snapshot of every entry in the global registries."""
+    from repro.registry.d2d import d2d_registry, d2d_to_spec
+    from repro.registry.geometries import (
+        wafer_geometry_registry,
+        wafer_geometry_to_spec,
+    )
+    from repro.registry.nodes import node_registry, node_to_spec
+    from repro.registry.technologies import technology_registry, technology_to_spec
+    from repro.registry.yieldmodels import (
+        yield_model_registry,
+        yield_model_to_spec,
+    )
+
+    return {
+        "nodes": {
+            name: node_to_spec(node)
+            for name, node in node_registry().items()
+        },
+        "technologies": {
+            name: technology_to_spec(entry.create())
+            for name, entry in technology_registry().items()
+        },
+        "d2d_interfaces": {
+            name: d2d_to_spec(interface)
+            for name, interface in d2d_registry().items()
+        },
+        "yield_models": {
+            name: yield_model_to_spec(entry)
+            for name, entry in yield_model_registry().items()
+        },
+        "wafer_geometries": {
+            name: wafer_geometry_to_spec(geometry)
+            for name, geometry in wafer_geometry_registry().items()
+        },
+    }
+
+
+def registry_hash() -> str:
+    """Content address of the current global registry state."""
+    return canonical_hash(registry_snapshot())

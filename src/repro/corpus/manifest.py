@@ -1,0 +1,165 @@
+"""Per-run manifest: crash-safe record of every unit's state.
+
+The manifest is the corpus runner's journal.  It is rewritten
+atomically after *every* unit state change, so a run killed at any
+instant leaves a parseable manifest whose ``running`` / ``pending``
+entries reveal the interruption; the next ``corpus run`` against the
+same store reports that, serves completed units from the store, and
+re-executes only the rest.  ``corpus status`` renders it per study.
+
+Unit states:
+
+``pending``    scheduled, not started (or lost to an interruption)
+``running``    dispatched to a worker (a killed run leaves these behind)
+``completed``  rows stored; ``source`` says how (``computed``,
+               ``store`` for a resume hit, ``recomputed`` after a
+               quarantined corrupt entry)
+``failed``     retries exhausted or a typed study error; ``error`` and
+               ``error_type`` carry the taxonomy
+               (StudyError/StudyTimeout/WorkerCrash/...)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CorpusError
+from repro.ioutil import atomic_write_text
+
+#: Manifest schema version.
+MANIFEST_FORMAT = 1
+
+#: States a unit can be in.
+UNIT_STATES = ("pending", "running", "completed", "failed")
+
+
+@dataclass
+class UnitRecord:
+    """Manifest entry for one (scenario, study) unit."""
+
+    unit_id: str
+    spec_hash: str
+    registry_hash: str
+    status: str = "pending"
+    attempts: int = 0
+    source: str = ""
+    error_type: str = ""
+    error: str = ""
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "unit_id": self.unit_id,
+            "spec_hash": self.spec_hash,
+            "registry_hash": self.registry_hash,
+            "status": self.status,
+            "attempts": self.attempts,
+            "source": self.source,
+            "error_type": self.error_type,
+            "error": self.error,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "UnitRecord":
+        return cls(
+            unit_id=str(payload.get("unit_id", "")),
+            spec_hash=str(payload.get("spec_hash", "")),
+            registry_hash=str(payload.get("registry_hash", "")),
+            status=str(payload.get("status", "pending")),
+            attempts=int(payload.get("attempts", 0)),
+            source=str(payload.get("source", "")),
+            error_type=str(payload.get("error_type", "")),
+            error=str(payload.get("error", "")),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
+
+
+@dataclass
+class Manifest:
+    """The whole run journal, saved atomically on every change."""
+
+    corpus: str
+    path: str
+    registry_hash: str = ""
+    interrupted_previous_run: bool = False
+    corrupt_entries: list[str] = field(default_factory=list)
+    units: dict[str, UnitRecord] = field(default_factory=dict)
+    started_at: float = field(default_factory=time.time)
+    finished: bool = False
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "corpus": self.corpus,
+            "registry_hash": self.registry_hash,
+            "interrupted_previous_run": self.interrupted_previous_run,
+            "corrupt_entries": list(self.corrupt_entries),
+            "started_at": self.started_at,
+            "finished": self.finished,
+            "counts": self.counts(),
+            "units": {
+                unit_id: record.to_dict()
+                for unit_id, record in sorted(self.units.items())
+            },
+        }
+        atomic_write_text(self.path, json.dumps(payload, indent=1) + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Manifest | None":
+        """Read a manifest; ``None`` when absent, CorpusError when broken."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            raise CorpusError(f"manifest {path}: unreadable ({error})") from None
+        manifest = cls(
+            corpus=str(payload.get("corpus", "")),
+            path=path,
+            registry_hash=str(payload.get("registry_hash", "")),
+            interrupted_previous_run=bool(
+                payload.get("interrupted_previous_run", False)
+            ),
+            corrupt_entries=list(payload.get("corrupt_entries", [])),
+            started_at=float(payload.get("started_at", 0.0)),
+            finished=bool(payload.get("finished", False)),
+        )
+        for unit_id, record in (payload.get("units") or {}).items():
+            manifest.units[unit_id] = UnitRecord.from_dict(record)
+        return manifest
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        tally = {state: 0 for state in UNIT_STATES}
+        for record in self.units.values():
+            tally[record.status] = tally.get(record.status, 0) + 1
+        return tally
+
+    def was_interrupted(self) -> bool:
+        """True when this (loaded) manifest shows an unfinished run."""
+        if self.finished:
+            return False
+        return any(
+            record.status in ("pending", "running")
+            for record in self.units.values()
+        )
+
+
+def manifest_path(manifests_dir: str, corpus: str) -> str:
+    """Manifest file path for a corpus name (sanitized)."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", corpus).strip("-") or "corpus"
+    return os.path.join(manifests_dir, f"{safe}.json")

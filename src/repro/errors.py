@@ -47,6 +47,72 @@ class ConfigError(ChipletActuaryError, ValueError):
     """Raised when a serialized configuration cannot be interpreted."""
 
 
+class StudyError(ConfigError):
+    """Raised when a scenario study fails to execute.
+
+    Wraps the bare ``KeyError`` / ``AttributeError`` / ``RegistryError``
+    escapes a study executor can produce, carrying the scenario/study
+    context so corpus-level tooling (and humans) can attribute the
+    failure without parsing tracebacks.  Subclasses
+    :class:`ConfigError` so existing ``except ConfigError`` callers
+    keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        scenario: str = "",
+        study: str = "",
+        kind: str = "",
+    ):
+        self.scenario = scenario
+        self.study = study
+        self.kind = kind
+        where = "/".join(part for part in (scenario, study) if part)
+        prefix = f"study {where!r}" + (f" [{kind}]" if kind else "")
+        super().__init__(f"{prefix}: {message}" if where or kind else message)
+
+
+class CorpusError(ChipletActuaryError):
+    """Base class for corpus-runner failures (scheduling, store, manifest)."""
+
+
+class StudyTimeout(CorpusError):
+    """A corpus unit exceeded its per-study wall-clock budget."""
+
+    def __init__(self, unit: str, timeout: float, attempts: int = 1):
+        self.unit = unit
+        self.timeout = timeout
+        self.attempts = attempts
+        super().__init__(
+            f"unit {unit!r} exceeded the {timeout:g}s study timeout "
+            f"(attempt {attempts})"
+        )
+
+
+class WorkerCrash(CorpusError):
+    """A corpus worker process died without reporting a result."""
+
+    def __init__(self, unit: str, exitcode: "int | None" = None, attempts: int = 1):
+        self.unit = unit
+        self.exitcode = exitcode
+        self.attempts = attempts
+        detail = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(
+            f"worker for unit {unit!r} died without a result{detail} "
+            f"(attempt {attempts})"
+        )
+
+
+class StoreCorruptionError(CorpusError):
+    """A result-store entry failed its checksum verification on read."""
+
+    def __init__(self, path: str, reason: str = "checksum mismatch"):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"corrupt store entry {path}: {reason}")
+
+
 class RegistryError(ChipletActuaryError, KeyError):
     """Raised when a registry lookup or registration fails."""
 

@@ -1,0 +1,62 @@
+"""Crash-safe filesystem helpers shared by the sinks and the result store.
+
+The invariant both layers rely on: a reader never observes a partially
+written file.  Writes go to a ``<name>.tmp.<pid>`` sibling in the same
+directory (so the final rename stays within one filesystem), are
+fsync'd, and are published with :func:`os.replace` — atomic on POSIX
+and on NTFS.  A process killed mid-write leaves only a temp file, which
+:func:`sweep_temp_files` (and the next successful write of the same
+path) cleans up.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp file + fsync + rename)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    handle = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def sweep_temp_files(directory: str) -> list[str]:
+    """Remove orphaned ``*.tmp.<pid>`` files left by killed writers.
+
+    Returns the paths removed.  Only files matching the atomic-write
+    temp naming convention are touched.
+    """
+    removed: list[str] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in entries:
+        stem, _, pid = name.rpartition(".tmp.")
+        if stem and pid.isdigit():
+            path = os.path.join(directory, name)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            removed.append(path)
+    return removed

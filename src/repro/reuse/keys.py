@@ -43,6 +43,20 @@ from repro.packaging.base import IntegrationTech
 ModuleKey = tuple
 
 
+def stable_json(value: object) -> str:
+    """Canonical JSON of a JSON-ready value: sorted keys, compact
+    separators, non-ASCII preserved.
+
+    The value-keying serialization shared by design keys (below) and the
+    corpus result store (``repro.corpus.hashing``): two value-equal
+    payloads always produce the same string, so hashes of it are stable
+    content addresses.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
 def _memoized(obj: object, attr: str, build) -> Hashable:
     cached = obj.__dict__.get(attr)
     if cached is None:
@@ -103,7 +117,7 @@ def integration_key(integration: IntegrationTech) -> Hashable:
         spec = technology_to_spec(integration)
     except ChipletActuaryError:
         return ("tech-id", id(integration))
-    return ("tech", json.dumps(spec, sort_keys=True))
+    return ("tech", stable_json(spec))
 
 
 def package_design_key(package: PackageDesign) -> Hashable:

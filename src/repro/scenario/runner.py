@@ -36,7 +36,7 @@ from typing import Any, Callable, Mapping
 from repro.config import ConfigRegistries, build_registries, portfolio_from_dict
 from repro.core.system import System
 from repro.engine.costengine import CostEngine, default_engine
-from repro.errors import ConfigError, RegistryError
+from repro.errors import ConfigError, RegistryError, StudyError
 from repro.explore.partition import partition_monolith, soc_reference
 from repro.process.node import ProcessNode
 from repro.reporting.table import Table
@@ -126,22 +126,55 @@ class ScenarioRunner:
             }
         )
         results = tuple(
-            self.run_study(study, registries) for study in spec.studies
+            self.run_study(study, registries, scenario=spec.name)
+            for study in spec.studies
         )
         return ScenarioResult(scenario=spec.name, results=results)
 
     def run_study(
-        self, study: Any, registries: ConfigRegistries | None = None
+        self,
+        study: Any,
+        registries: ConfigRegistries | None = None,
+        scenario: str = "",
     ) -> StudyResult:
-        """Execute a single study against the given (or global) registries."""
+        """Execute a single study against the given (or global) registries.
+
+        Failures are typed: an unknown study kind, or a bare
+        ``KeyError`` / ``AttributeError`` / ``RegistryError`` escaping
+        an executor, is re-raised as a :class:`~repro.errors.StudyError`
+        carrying the scenario/study context (a ``ConfigError`` subclass,
+        so existing handlers keep working).  Errors the executors
+        already contextualize (``ConfigError`` and friends) pass through
+        unchanged.
+        """
         registries = registries if registries is not None else ConfigRegistries()
+        kind = getattr(study, "kind", None)
+        name = getattr(study, "name", "")
         try:
-            executor = _EXECUTORS[study.kind]
-        except (KeyError, AttributeError):
-            raise ConfigError(
-                f"no executor for study kind {getattr(study, 'kind', study)!r}"
+            executor = _EXECUTORS[kind]
+        except (KeyError, TypeError):
+            raise StudyError(
+                f"no executor for study kind {kind if kind is not None else study!r}",
+                scenario=scenario,
+                study=str(name),
             ) from None
-        outcome = executor(self, study, registries)
+        try:
+            outcome = executor(self, study, registries)
+        except StudyError:
+            raise
+        except ConfigError as error:
+            if not scenario:
+                raise
+            raise StudyError(
+                str(error), scenario=scenario, study=name, kind=kind
+            ) from error
+        except (KeyError, AttributeError, RegistryError) as error:
+            raise StudyError(
+                f"{type(error).__name__}: {error}",
+                scenario=scenario,
+                study=name,
+                kind=kind,
+            ) from error
         data, text = outcome[0], outcome[1]
         rows = tuple(outcome[2]) if len(outcome) > 2 else ()
         return StudyResult(

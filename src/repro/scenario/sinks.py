@@ -11,11 +11,18 @@ them.  One file per study and format::
 
 File names are sanitized to a portable character set; the directory is
 created on demand.
+
+Writes are *atomic*: each file is rendered in memory, written to a
+``*.tmp.<pid>`` sibling, fsync'd and published with an atomic rename
+(``repro.ioutil``), so an interrupted ``--sink-dir`` run never leaves a
+truncated CSV/JSON behind — readers observe either the previous
+complete file or the new complete file, never a partial one.
 """
 
 from __future__ import annotations
 
 import csv
+import io
 import json
 import os
 import re
@@ -23,6 +30,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.errors import ConfigError
+from repro.ioutil import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.scenario.runner import ScenarioResult, StudyResult
@@ -84,22 +92,29 @@ def _csv_value(value: Any) -> Any:
     return str(value)
 
 
-def write_study_csv(path: str, study: "StudyResult") -> None:
-    """Write one study's rows as CSV (caller skips row-less studies)."""
+def render_study_csv(study: "StudyResult") -> str:
+    """Render one study's rows as CSV text."""
     headers: list[str] = []
     for row in study.rows:
         for key in row:
             if key not in headers:
                 headers.append(key)
-    with open(path, "w", encoding="utf-8", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=headers)
-        writer.writeheader()
-        for row in study.rows:
-            writer.writerow({key: _csv_value(row.get(key)) for key in headers})
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=headers)
+    writer.writeheader()
+    for row in study.rows:
+        writer.writerow({key: _csv_value(row.get(key)) for key in headers})
+    return buffer.getvalue()
+
+
+def write_study_csv(path: str, study: "StudyResult") -> None:
+    """Atomically write one study's rows as CSV (caller skips row-less
+    studies)."""
+    atomic_write_text(path, render_study_csv(study))
 
 
 def write_study_json(path: str, scenario: str, study: "StudyResult") -> None:
-    """Write one study's rows plus rendered text as JSON."""
+    """Atomically write one study's rows plus rendered text as JSON."""
     payload = {
         "scenario": scenario,
         "study": study.name,
@@ -110,9 +125,7 @@ def write_study_json(path: str, scenario: str, study: "StudyResult") -> None:
         ],
         "text": study.text,
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 
 def write_sinks(result: "ScenarioResult", sink: SinkSpec) -> list[str]:

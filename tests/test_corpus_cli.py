@@ -1,0 +1,143 @@
+"""``corpus run`` / ``corpus status`` end to end (in-process, via main())."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import EXIT_CORRUPT, EXIT_OK, EXIT_PARTIAL
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+CORPUS = {
+    "corpus": "cli-corpus",
+    "template": {
+        "scenario": "cli-{area}",
+        "studies": [
+            {
+                "kind": "partition_sweep",
+                "name": "sweep",
+                "module_area": "$area",
+                "node": "7nm",
+                "technology": "mcm",
+                "chiplet_counts": [1, 2],
+            }
+        ],
+    },
+    "axes": {"area": [150, 450]},
+}
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.json"
+    path.write_text(json.dumps(CORPUS))
+    return str(path)
+
+
+def corpus_args(corpus_file, store, *extra):
+    return ("corpus", "run", corpus_file, "--store", store, "--inline", *extra)
+
+
+def test_run_success_exit_zero(capsys, corpus_file, tmp_path):
+    store = str(tmp_path / "store")
+    code, out, _err = run_cli(capsys, *corpus_args(corpus_file, store))
+    assert code == EXIT_OK
+    assert "Corpus: cli-corpus" in out
+    assert "completed 2/2" in out
+    assert "computed: 2" in out
+
+
+def test_rerun_served_from_store(capsys, corpus_file, tmp_path):
+    store = str(tmp_path / "store")
+    run_cli(capsys, *corpus_args(corpus_file, store))
+    code, out, _err = run_cli(capsys, *corpus_args(corpus_file, store))
+    assert code == EXIT_OK
+    assert "from store: 2" in out
+    assert "computed: 0" in out
+
+
+def test_partial_failure_exit_code(capsys, tmp_path):
+    broken = dict(CORPUS)
+    broken["template"] = json.loads(
+        json.dumps(CORPUS["template"]).replace("7nm", "not-a-node")
+    )
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps(broken))
+    store = str(tmp_path / "store")
+    code, out, _err = run_cli(capsys, *corpus_args(str(path), store))
+    assert code == EXIT_PARTIAL
+    assert "FAILED" in out
+    assert "StudyError" in out
+
+
+def test_corruption_exit_code_and_recovery(capsys, corpus_file, tmp_path):
+    import os
+
+    store = str(tmp_path / "store")
+    run_cli(capsys, *corpus_args(corpus_file, store))
+    objects = os.path.join(store, "objects")
+    victim = None
+    for directory, _dirs, files in os.walk(objects):
+        for name in files:
+            victim = os.path.join(directory, name)
+            break
+    assert victim is not None
+    with open(victim) as handle:
+        text = handle.read()
+    with open(victim, "w") as handle:
+        handle.write(text.replace('"rows"', '"sowr"', 1))
+    code, out, _err = run_cli(capsys, *corpus_args(corpus_file, store))
+    assert code == EXIT_CORRUPT
+    assert "store corruption: 1 entries quarantined" in out
+    # The corpus itself still completed; only the store integrity flag fires.
+    assert "completed 2/2" in out
+
+
+def test_status_before_any_run(capsys, corpus_file, tmp_path):
+    store = str(tmp_path / "store")
+    code, out, _err = run_cli(
+        capsys, "corpus", "status", corpus_file, "--store", store
+    )
+    assert code == 0
+    assert "no manifest" in out
+    assert "unscheduled" in out
+
+
+def test_status_after_run_lists_units(capsys, corpus_file, tmp_path):
+    store = str(tmp_path / "store")
+    run_cli(capsys, *corpus_args(corpus_file, store))
+    code, out, _err = run_cli(
+        capsys, "corpus", "status", corpus_file, "--store", store
+    )
+    assert code == 0
+    assert "cli-150/sweep" in out
+    assert "cli-450/sweep" in out
+    assert "completed" in out
+    assert "finished" in out
+
+
+def test_missing_corpus_file_is_usage_error(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys,
+        "corpus", "run", str(tmp_path / "absent.json"),
+        "--store", str(tmp_path / "store"),
+    )
+    assert code == 2
+    assert "error" in err.lower()
+
+
+def test_workers_must_be_positive(capsys, corpus_file, tmp_path):
+    code, _out, err = run_cli(
+        capsys,
+        "corpus", "run", corpus_file,
+        "--store", str(tmp_path / "store"),
+        "--workers", "0",
+    )
+    assert code == 2
+    assert "worker" in err.lower()

@@ -1,0 +1,180 @@
+"""Corpus generator: template expansion, substitution, unit hashing."""
+
+import json
+
+import pytest
+
+from repro.corpus.generator import (
+    corpus_from_dict,
+    expand_template,
+    load_corpus,
+)
+from repro.errors import CorpusError
+
+TEMPLATE = {
+    "scenario": "grid-{node}-{area}",
+    "studies": [
+        {
+            "kind": "partition_sweep",
+            "name": "sweep",
+            "module_area": "$area",
+            "node": "$node",
+            "technology": "mcm",
+        }
+    ],
+}
+
+AXES = {"node": ["7nm", "14nm"], "area": [100, 400]}
+
+
+def corpus_doc(**overrides):
+    payload = {"corpus": "c", "template": TEMPLATE, "axes": AXES}
+    payload.update(overrides)
+    return payload
+
+
+class TestExpansion:
+    def test_cartesian_count(self):
+        documents = expand_template(TEMPLATE, AXES, "c")
+        assert len(documents) == 4
+
+    def test_axis_value_substitution_preserves_types(self):
+        documents = expand_template(TEMPLATE, AXES, "c")
+        areas = {doc["studies"][0]["module_area"] for doc in documents}
+        assert areas == {100, 400}
+        assert all(
+            isinstance(doc["studies"][0]["module_area"], int)
+            for doc in documents
+        )
+
+    def test_name_placeholder_substitution(self):
+        documents = expand_template(TEMPLATE, AXES, "c")
+        names = {doc["scenario"] for doc in documents}
+        assert "grid-7nm-100" in names
+        assert "grid-14nm-400" in names
+
+    def test_template_without_placeholder_gets_point_suffix(self):
+        template = dict(TEMPLATE, scenario="fixed")
+        documents = expand_template(template, AXES, "c")
+        names = sorted(doc["scenario"] for doc in documents)
+        assert len(set(names)) == 4
+        assert names[0] == "fixed__area-100__node-14nm"
+
+    def test_axes_must_be_non_empty_lists(self):
+        with pytest.raises(CorpusError, match="non-empty list"):
+            expand_template(TEMPLATE, {"node": []}, "c")
+
+
+class TestCorpusFromDict:
+    def test_units_one_per_scenario_study(self):
+        corpus = corpus_from_dict(corpus_doc())
+        assert len(corpus.scenarios) == 4
+        assert len(corpus.units) == 4
+        assert {unit.kind for unit in corpus.units} == {"partition_sweep"}
+        assert corpus.units[0].unit_id == "grid-7nm-100/sweep"
+
+    def test_literal_scenarios_supported(self):
+        literal = {
+            "scenario": "literal",
+            "studies": [
+                {"kind": "partition_sweep", "name": "s", "module_area": 99,
+                 "node": "7nm", "technology": "mcm"}
+            ],
+        }
+        corpus = corpus_from_dict(
+            {"corpus": "c", "scenarios": [literal]}
+        )
+        assert [unit.unit_id for unit in corpus.units] == ["literal/s"]
+
+    def test_template_and_literals_combine(self):
+        literal = {
+            "scenario": "extra",
+            "studies": [
+                {"kind": "partition_sweep", "name": "s", "module_area": 99,
+                 "node": "7nm", "technology": "mcm"}
+            ],
+        }
+        corpus = corpus_from_dict(corpus_doc(scenarios=[literal]))
+        assert len(corpus.units) == 5
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(CorpusError, match="missing key 'corpus'"):
+            corpus_from_dict({"template": TEMPLATE, "axes": AXES})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(CorpusError, match="unknown keys"):
+            corpus_from_dict(corpus_doc(sutdies=[]))
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(CorpusError, match="needs a 'template'"):
+            corpus_from_dict({"corpus": "c"})
+
+    def test_invalid_expanded_scenario_is_named(self):
+        template = {
+            "scenario": "bad-{node}",
+            "studies": [{"kind": "nonsense", "name": "s"}],
+        }
+        with pytest.raises(CorpusError, match="invalid expanded scenario"):
+            corpus_from_dict(
+                {"corpus": "c", "template": template, "axes": {"node": ["7nm"]}}
+            )
+
+    def test_duplicate_scenario_names_rejected(self):
+        literal = {
+            "scenario": "dup",
+            "studies": [
+                {"kind": "partition_sweep", "name": "s", "module_area": 99,
+                 "node": "7nm", "technology": "mcm"}
+            ],
+        }
+        with pytest.raises(CorpusError, match="duplicate scenario name"):
+            corpus_from_dict({"corpus": "c", "scenarios": [literal, literal]})
+
+
+class TestUnitHashing:
+    def test_same_study_same_hash_across_scenario_names(self):
+        a = corpus_from_dict(corpus_doc())
+        renamed = dict(TEMPLATE, scenario="other-{node}-{area}")
+        b = corpus_from_dict(corpus_doc(template=renamed))
+        assert [u.spec_hash for u in a.units] == [u.spec_hash for u in b.units]
+
+    def test_different_parameters_different_hash(self):
+        corpus = corpus_from_dict(corpus_doc())
+        assert len({unit.spec_hash for unit in corpus.units}) == 4
+
+    def test_custom_sections_change_hash(self):
+        plain = corpus_from_dict(corpus_doc())
+        custom = corpus_from_dict(
+            corpus_doc(
+                template=dict(
+                    TEMPLATE,
+                    nodes={"7nm-cheap": {"base": "7nm", "wafer_price": 1.0}},
+                )
+            )
+        )
+        assert plain.units[0].spec_hash != custom.units[0].spec_hash
+
+
+class TestLoadCorpus:
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        path.write_text(json.dumps(corpus_doc()))
+        corpus = load_corpus(str(path))
+        assert corpus.name == "c"
+        assert len(corpus.units) == 4
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CorpusError, match="No such file"):
+            load_corpus(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{")
+        with pytest.raises(CorpusError, match="invalid JSON"):
+            load_corpus(str(path))
+
+    def test_example_corpus_expands(self):
+        corpus = load_corpus("examples/corpus_granularity.json")
+        assert corpus.name == "granularity-corpus"
+        assert len(corpus.scenarios) == 6
+        assert len(corpus.units) == 12

@@ -1,0 +1,351 @@
+"""Corpus runner robustness: resume-from-store, crash retry, timeouts,
+corrupt-entry recovery, keep-going semantics, typed study failures."""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus import (
+    EXIT_CORRUPT,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    CorpusOptions,
+    CorpusRunner,
+    Manifest,
+    ResultStore,
+    StoreKey,
+    corpus_from_dict,
+    execute_unit,
+    manifest_path,
+    run_corpus,
+)
+from repro.errors import CorpusError, StudyError
+
+
+def small_corpus(n_areas=2, study_extra=None, name="test-corpus"):
+    study = {
+        "kind": "partition_sweep",
+        "name": "sweep",
+        "module_area": "$area",
+        "node": "7nm",
+        "technology": "mcm",
+        "chiplet_counts": [1, 2],
+    }
+    study.update(study_extra or {})
+    return corpus_from_dict(
+        {
+            "corpus": name,
+            "template": {"scenario": "t-{area}", "studies": [study]},
+            "axes": {"area": [100 * (i + 1) for i in range(n_areas)]},
+        }
+    )
+
+
+def inline_options(**overrides):
+    payload = dict(workers=1, inline=True, backoff=0.01)
+    payload.update(overrides)
+    return CorpusOptions(**payload)
+
+
+def store_bytes(root):
+    entries = {}
+    for directory, _dirs, files in os.walk(os.path.join(root, "objects")):
+        for filename in files:
+            path = os.path.join(directory, filename)
+            with open(path, "rb") as handle:
+                entries[filename] = handle.read()
+    return entries
+
+
+class TestExecuteUnit:
+    def test_returns_storable_payload(self):
+        corpus = small_corpus(n_areas=1)
+        unit = corpus.units[0]
+        payload = execute_unit(unit.document, unit.study)
+        assert payload["scenario"] == "t-100"
+        assert payload["study"] == "sweep"
+        assert payload["kind"] == "partition_sweep"
+        assert payload["rows"]
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_matches_direct_scenario_run(self):
+        from repro.scenario import run_scenario
+
+        corpus = small_corpus(n_areas=1)
+        unit = corpus.units[0]
+        payload = execute_unit(unit.document, unit.study)
+        direct = run_scenario(dict(unit.document)).result("sweep")
+        assert payload["text"] == direct.text
+        assert len(payload["rows"]) == len(direct.rows)
+
+    def test_unknown_study_raises(self):
+        corpus = small_corpus(n_areas=1)
+        with pytest.raises(CorpusError, match="has no study"):
+            execute_unit(corpus.units[0].document, "absent")
+
+
+class TestInlineRun:
+    def test_all_units_complete(self, tmp_path):
+        corpus = small_corpus()
+        report = run_corpus(corpus, str(tmp_path), options=inline_options())
+        assert report.exit_code == EXIT_OK
+        counts = report.counts()
+        assert counts["completed"] == 2 and counts["computed"] == 2
+
+    def test_manifest_written_and_finished(self, tmp_path):
+        corpus = small_corpus()
+        report = run_corpus(corpus, str(tmp_path), options=inline_options())
+        manifest = Manifest.load(report.manifest_path)
+        assert manifest.finished
+        assert manifest.counts()["completed"] == 2
+        assert all(
+            record.source == "computed" for record in manifest.units.values()
+        )
+
+    def test_resume_serves_everything_from_store(self, tmp_path):
+        corpus = small_corpus()
+        run_corpus(corpus, str(tmp_path), options=inline_options())
+        before = store_bytes(str(tmp_path))
+        report = run_corpus(corpus, str(tmp_path), options=inline_options())
+        assert report.exit_code == EXIT_OK
+        assert report.counts()["from_store"] == 2
+        assert store_bytes(str(tmp_path)) == before
+
+    def test_partial_store_only_computes_missing_units(self, tmp_path):
+        run_corpus(
+            small_corpus(n_areas=1), str(tmp_path), options=inline_options()
+        )
+        report = run_corpus(
+            small_corpus(n_areas=3), str(tmp_path), options=inline_options()
+        )
+        counts = report.counts()
+        assert counts["from_store"] == 1 and counts["computed"] == 2
+
+    def test_failed_study_recorded_not_fatal(self, tmp_path):
+        corpus = small_corpus(study_extra={"node": "not-a-node"})
+        report = run_corpus(corpus, str(tmp_path), options=inline_options())
+        assert report.exit_code == EXIT_PARTIAL
+        assert report.counts()["failed"] == 2
+        outcome = report.outcomes[0]
+        assert outcome.error_type == "StudyError"
+        assert "not-a-node" in outcome.error
+        manifest = Manifest.load(report.manifest_path)
+        record = manifest.units["t-100/sweep"]
+        assert record.status == "failed"
+        assert record.error_type == "StudyError"
+        assert record.attempts == 1  # deterministic failures are not retried
+
+    def test_fail_fast_aborts(self, tmp_path):
+        corpus = small_corpus(n_areas=3, study_extra={"node": "not-a-node"})
+        report = run_corpus(
+            corpus, str(tmp_path), options=inline_options(keep_going=False)
+        )
+        assert report.aborted
+        assert report.exit_code == EXIT_PARTIAL
+        manifest = Manifest.load(report.manifest_path)
+        assert not manifest.finished
+
+    def test_registry_hash_keys_the_store(self, tmp_path):
+        corpus = small_corpus(n_areas=1)
+        store = ResultStore(str(tmp_path))
+        runner = CorpusRunner(corpus, store, options=inline_options())
+        runner.run()
+        unit = corpus.units[0]
+        assert store.has(
+            StoreKey(unit.spec_hash, runner.registry_hash)
+        )
+        assert not store.has(StoreKey(unit.spec_hash, "f" * 64))
+
+
+class TestCorruptionRecovery:
+    def corrupt_one(self, root):
+        for directory, _dirs, files in os.walk(os.path.join(root, "objects")):
+            for filename in files:
+                path = os.path.join(directory, filename)
+                with open(path) as handle:
+                    text = handle.read()
+                with open(path, "w") as handle:
+                    handle.write(text.replace('"rows"', '"sowr"', 1))
+                return path
+        raise AssertionError("no entry to corrupt")
+
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        corpus = small_corpus()
+        run_corpus(corpus, str(tmp_path), options=inline_options())
+        before = store_bytes(str(tmp_path))
+        self.corrupt_one(str(tmp_path))
+        report = run_corpus(corpus, str(tmp_path), options=inline_options())
+        assert report.exit_code == EXIT_CORRUPT
+        assert len(report.corrupt_entries) == 1
+        assert report.corrupt_entries[0].endswith(".corrupt")
+        assert os.path.exists(report.corrupt_entries[0])
+        counts = report.counts()
+        assert counts["completed"] == 2
+        assert counts["from_store"] == 1 and counts["computed"] == 1
+        # The recomputed entry is bit-identical to the original write.
+        assert store_bytes(str(tmp_path)) == before
+        manifest = Manifest.load(report.manifest_path)
+        sources = sorted(r.source for r in manifest.units.values())
+        assert sources == ["recomputed", "store"]
+
+    def test_injected_corruption_detected_on_next_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CORPUS_FAULTS",
+            json.dumps({"corrupt": {"match": "t-100", "times": 1}}),
+        )
+        monkeypatch.setenv(
+            "REPRO_CORPUS_FAULT_STATE", str(tmp_path / "fault-state")
+        )
+        corpus = small_corpus()
+        first = run_corpus(corpus, str(tmp_path / "s"), options=inline_options())
+        assert first.exit_code == EXIT_OK  # corruption lands after the write
+        second = run_corpus(corpus, str(tmp_path / "s"), options=inline_options())
+        assert second.exit_code == EXIT_CORRUPT
+        assert second.counts()["completed"] == 2
+
+
+class TestWorkerPool:
+    def test_pool_run_matches_inline_store(self, tmp_path):
+        corpus = small_corpus()
+        run_corpus(corpus, str(tmp_path / "inline"), options=inline_options())
+        report = run_corpus(
+            corpus,
+            str(tmp_path / "pool"),
+            options=CorpusOptions(workers=2, timeout=60, backoff=0.01),
+        )
+        assert report.exit_code == EXIT_OK
+        assert store_bytes(str(tmp_path / "pool")) == store_bytes(
+            str(tmp_path / "inline")
+        )
+
+    def test_injected_crash_retried_then_succeeds(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CORPUS_FAULTS",
+            json.dumps({"crash": {"match": "t-100/sweep", "times": 1}}),
+        )
+        monkeypatch.setenv(
+            "REPRO_CORPUS_FAULT_STATE", str(tmp_path / "fault-state")
+        )
+        corpus = small_corpus()
+        report = run_corpus(
+            corpus,
+            str(tmp_path / "s"),
+            options=CorpusOptions(workers=1, timeout=60, backoff=0.01),
+        )
+        assert report.exit_code == EXIT_OK
+        manifest = Manifest.load(report.manifest_path)
+        record = manifest.units["t-100/sweep"]
+        assert record.status == "completed"
+        assert record.attempts == 2
+        assert record.error_type == ""  # cleared on eventual success
+
+    def test_crash_retries_exhausted_reports_worker_crash(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_CORPUS_FAULTS", json.dumps({"crash": {"match": "t-100"}})
+        )
+        corpus = small_corpus(n_areas=1)
+        report = run_corpus(
+            corpus,
+            str(tmp_path / "s"),
+            options=CorpusOptions(
+                workers=1, timeout=60, max_retries=1, backoff=0.01
+            ),
+        )
+        assert report.exit_code == EXIT_PARTIAL
+        outcome = report.outcomes[0]
+        assert outcome.error_type == "WorkerCrash"
+        assert outcome.attempts == 2
+        assert "exit code 137" in outcome.error
+
+    def test_timeout_kills_and_reports(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CORPUS_FAULTS", json.dumps({"delay": {"seconds": 30}})
+        )
+        corpus = small_corpus(n_areas=1)
+        report = run_corpus(
+            corpus,
+            str(tmp_path / "s"),
+            options=CorpusOptions(
+                workers=1, timeout=0.5, max_retries=1, backoff=0.01
+            ),
+        )
+        assert report.exit_code == EXIT_PARTIAL
+        outcome = report.outcomes[0]
+        assert outcome.error_type == "StudyTimeout"
+        assert outcome.attempts == 2
+        manifest = Manifest.load(report.manifest_path)
+        assert manifest.units["t-100/sweep"].error_type == "StudyTimeout"
+
+    def test_interruption_is_reported_on_resume(self, tmp_path):
+        corpus = small_corpus()
+        store = ResultStore(str(tmp_path))
+        # Simulate a killed run: a manifest with unfinished units.
+        runner = CorpusRunner(corpus, store, options=inline_options())
+        path = manifest_path(store.manifests_dir, corpus.name)
+        manifest = Manifest(corpus=corpus.name, path=path)
+        from repro.corpus import UnitRecord
+
+        manifest.units["t-100/sweep"] = UnitRecord(
+            unit_id="t-100/sweep", spec_hash="00", registry_hash="11",
+            status="running",
+        )
+        manifest.save()
+        report = runner.run()
+        assert report.interrupted_previous_run
+        assert Manifest.load(path).interrupted_previous_run
+
+
+class TestStudyErrorWrapping:
+    def test_unknown_kind_raises_study_error(self):
+        from repro.scenario.runner import ScenarioRunner
+
+        with pytest.raises(StudyError, match="no executor"):
+            ScenarioRunner().run_study(object(), scenario="s")
+
+    def test_bare_key_error_wrapped_with_context(self):
+        from repro.scenario.runner import _EXECUTORS, ScenarioRunner
+
+        class Stub:
+            kind = "boom-test"
+            name = "stub"
+
+        def exploding(_runner, _study, _registries):
+            raise KeyError("missing-internal-key")
+
+        _EXECUTORS["boom-test"] = exploding
+        try:
+            with pytest.raises(StudyError) as excinfo:
+                ScenarioRunner().run_study(Stub(), scenario="scn")
+        finally:
+            del _EXECUTORS["boom-test"]
+        error = excinfo.value
+        assert error.scenario == "scn"
+        assert error.study == "stub"
+        assert error.kind == "boom-test"
+        assert "KeyError" in str(error)
+        assert "scn/stub" in str(error)
+        assert isinstance(error.__cause__, KeyError)
+
+    def test_config_error_gains_scenario_context(self):
+        from repro.errors import ConfigError
+        from repro.scenario import run_scenario
+
+        document = {
+            "scenario": "ctx",
+            "studies": [
+                {"kind": "partition_sweep", "name": "s", "module_area": 100,
+                 "node": "no-such-node", "technology": "mcm"}
+            ],
+        }
+        with pytest.raises(StudyError, match="ctx/s") as excinfo:
+            run_scenario(document)
+        assert isinstance(excinfo.value, ConfigError)  # back-compat
+
+    def test_study_error_is_config_error_subclass(self):
+        from repro.errors import ChipletActuaryError, ConfigError
+
+        assert issubclass(StudyError, ConfigError)
+        assert issubclass(StudyError, ChipletActuaryError)

@@ -22,6 +22,7 @@ prints the offending snippet/scenario and exits 1.
 from __future__ import annotations
 
 import glob
+import json
 import os
 import re
 import subprocess
@@ -59,7 +60,12 @@ def _run_cli(arguments: list[str], cwd: str, label: str) -> list[str]:
 
 
 def check_example_scenarios() -> list[str]:
-    """Run every examples/*.json through ``python -m repro run``."""
+    """Run every examples/*.json through its documented command.
+
+    Scenario documents go through ``python -m repro run``; corpus
+    documents (top-level ``"corpus"`` key) through
+    ``python -m repro corpus run`` against a scratch store.
+    """
     failures: list[str] = []
     scenarios = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.json")))
     if not scenarios:
@@ -67,8 +73,18 @@ def check_example_scenarios() -> list[str]:
     with tempfile.TemporaryDirectory() as workdir:
         for path in scenarios:
             name = os.path.relpath(path, REPO_ROOT)
-            print(f"  run {name}")
-            failures += _run_cli(["-m", "repro", "run", path], workdir, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                is_corpus = "corpus" in json.load(handle)
+            if is_corpus:
+                print(f"  corpus run {name}")
+                arguments = [
+                    "-m", "repro", "corpus", "run", path,
+                    "--store", os.path.join(workdir, "docs-check-store"),
+                ]
+            else:
+                print(f"  run {name}")
+                arguments = ["-m", "repro", "run", path]
+            failures += _run_cli(arguments, workdir, name)
     return failures
 
 

@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke proof for the corpus runner (CI-executed).
+
+The robustness contract under test (ISSUE 6 acceptance criteria):
+
+1. a corpus run SIGKILLed mid-flight leaves a parseable manifest that
+   reveals the interruption;
+2. re-invoking the same run completes, serving every already-finished
+   (spec-hash, registry-hash) unit from the store with **zero
+   recomputation**;
+3. the store contents end up **bit-identical** to an uninterrupted
+   reference run;
+4. injected worker crashes are retried with backoff and recorded in
+   the manifest without aborting the corpus.
+
+Run from the repo root: ``PYTHONPATH=src python tools/corpus_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+CORPUS = {
+    "corpus": "smoke",
+    "template": {
+        "scenario": "smoke-{node}-{area}",
+        "studies": [
+            {
+                "kind": "partition_sweep",
+                "name": "sweep",
+                "module_area": "$area",
+                "node": "$node",
+                "technology": "mcm",
+                "chiplet_counts": [1, 2, 3],
+            }
+        ],
+    },
+    "axes": {"node": ["7nm", "14nm"], "area": [150, 350, 550]},
+}
+
+CHECKS: list[str] = []
+
+
+def check(condition: bool, label: str) -> None:
+    CHECKS.append(("ok  " if condition else "FAIL") + " " + label)
+    print(CHECKS[-1], flush=True)
+    if not condition:
+        print("\n".join(CHECKS))
+        sys.exit(1)
+
+
+def run_cli(args: list[str], env: "dict | None" = None, **kwargs):
+    full_env = dict(os.environ)
+    full_env["PYTHONPATH"] = SRC + os.pathsep + full_env.get("PYTHONPATH", "")
+    full_env.update(env or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=full_env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def load_manifest(store: str) -> dict:
+    path = os.path.join(store, "manifests", "smoke.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def object_files(store: str) -> dict[str, bytes]:
+    entries: dict[str, bytes] = {}
+    objects = os.path.join(store, "objects")
+    for directory, _dirs, files in os.walk(objects):
+        for name in files:
+            path = os.path.join(directory, name)
+            with open(path, "rb") as handle:
+                entries[os.path.relpath(path, objects)] = handle.read()
+    return entries
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="corpus-smoke-")
+    corpus_path = os.path.join(tmp, "corpus.json")
+    with open(corpus_path, "w", encoding="utf-8") as handle:
+        json.dump(CORPUS, handle)
+    store_ref = os.path.join(tmp, "store-ref")
+    store_kill = os.path.join(tmp, "store-kill")
+    store_crash = os.path.join(tmp, "store-crash")
+
+    # --- reference: one uninterrupted run --------------------------------
+    result = run_cli(["corpus", "run", corpus_path, "--store", store_ref,
+                      "--workers", "1"])
+    check(result.returncode == 0, f"reference run exits 0 (got {result.returncode})")
+    reference_objects = object_files(store_ref)
+    check(len(reference_objects) == 6, "reference run stored 6 entries")
+
+    # --- SIGKILL mid-run --------------------------------------------------
+    # A per-unit delay slows each study so the kill lands mid-corpus.
+    env = {
+        "REPRO_CORPUS_FAULTS": json.dumps({"delay": {"seconds": 0.8}}),
+    }
+    full_env = dict(os.environ)
+    full_env["PYTHONPATH"] = SRC + os.pathsep + full_env.get("PYTHONPATH", "")
+    full_env.update(env)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "corpus", "run", corpus_path,
+         "--store", store_kill, "--workers", "1", "--timeout", "60"],
+        env=full_env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    manifest_file = os.path.join(store_kill, "manifests", "smoke.json")
+    deadline = time.time() + 120
+    completed_before_kill: list[str] = []
+    while time.time() < deadline:
+        try:
+            manifest = load_manifest(store_kill)
+        except (OSError, json.JSONDecodeError):
+            time.sleep(0.05)
+            continue
+        completed_before_kill = [
+            unit_id
+            for unit_id, record in manifest.get("units", {}).items()
+            if record["status"] == "completed"
+        ]
+        if 1 <= len(completed_before_kill) <= 4:
+            break
+        time.sleep(0.05)
+    check(bool(completed_before_kill), "some units completed before the kill")
+    check(len(completed_before_kill) < 6, "kill lands mid-corpus, not after it")
+    os.killpg(os.getpgid(process.pid), signal.SIGKILL)
+    process.wait()
+    check(process.returncode == -signal.SIGKILL, "runner died by SIGKILL")
+
+    manifest = load_manifest(store_kill)
+    check(not manifest["finished"], "killed manifest is not marked finished")
+    unfinished = [
+        unit_id
+        for unit_id, record in manifest["units"].items()
+        if record["status"] in ("pending", "running")
+    ]
+    check(bool(unfinished), "killed manifest reports unfinished units")
+    check(manifest_file == os.path.join(store_kill, "manifests", "smoke.json"),
+          "manifest lives in the store")
+
+    # --- resume -----------------------------------------------------------
+    result = run_cli(["corpus", "run", corpus_path, "--store", store_kill,
+                      "--workers", "1"])
+    check(result.returncode == 0, f"resume exits 0 (got {result.returncode})")
+    check("previous run was interrupted" in result.stdout,
+          "resume reports the interruption")
+    manifest = load_manifest(store_kill)
+    check(manifest["interrupted_previous_run"],
+          "resume manifest records interrupted_previous_run")
+    check(manifest["finished"], "resume manifest is finished")
+    served = [
+        unit_id
+        for unit_id, record in manifest["units"].items()
+        if record["status"] == "completed" and record["source"] == "store"
+    ]
+    for unit_id in completed_before_kill:
+        check(unit_id in served,
+              f"{unit_id} served from the store (zero recomputation)")
+    resumed_objects = object_files(store_kill)
+    check(resumed_objects == reference_objects,
+          "store bit-identical to the uninterrupted reference run")
+
+    # --- injected crash: retried with backoff, corpus completes -----------
+    state = os.path.join(tmp, "fault-state")
+    result = run_cli(
+        ["corpus", "run", corpus_path, "--store", store_crash,
+         "--workers", "1", "--backoff", "0.05"],
+        env={
+            "REPRO_CORPUS_FAULTS": json.dumps(
+                {"crash": {"match": "smoke-7nm-150/sweep", "times": 2}}
+            ),
+            "REPRO_CORPUS_FAULT_STATE": state,
+        },
+    )
+    check(result.returncode == 0,
+          f"crash-injected corpus still completes (got {result.returncode})")
+    manifest = load_manifest(store_crash)
+    crashed = manifest["units"]["smoke-7nm-150/sweep"]
+    check(crashed["status"] == "completed" and crashed["attempts"] == 3,
+          "crashed unit retried twice with backoff, then completed")
+    check(object_files(store_crash) == reference_objects,
+          "crash-retried store bit-identical to the reference run")
+
+    print(f"\ncorpus smoke: all {len(CHECKS)} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
