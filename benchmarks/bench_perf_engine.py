@@ -22,6 +22,16 @@ replace and records the throughput trajectory to ``BENCH_engine.json``:
   shared decomposition, constructing every cost object) versus the
   numpy-vectorized ``PortfolioDecomposition.solve`` over dense
   design x system matrices.  Acceptance: >= 5x.
+* **Design-space search** — a >= 100k-candidate
+  (areas x nodes x technologies x counts) design space swept by
+  ``repro.search.run_search`` (dense per-block evaluation + streaming
+  dominance pruning) versus the naive per-candidate oracle loop (one
+  ``System`` built and priced through the core functions per
+  candidate), timed on a strided area-subsample that is itself a valid
+  ``DesignSpace``.  Every subsample candidate is asserted bit-identical
+  between the two paths and the pruned frontier set-identical to the
+  ``pareto_frontier`` oracle before the speedup is reported.
+  Acceptance: >= 20x.
 * **Prior draws** — the Monte-Carlo prior stream for a 4-chiplet
   2.5D study: per-call draws exactly as the scalar sampler makes them
   (one ``DefectDensityPrior.sample`` — i.e. one ``random.Random.gauss``
@@ -68,6 +78,7 @@ SWEEP_SPEEDUP_FLOOR = 3.0
 PORTFOLIO_SPEEDUP_FLOOR = 5.0
 THOUSAND_SPEEDUP_FLOOR = 5.0
 PRIOR_DRAWS_SPEEDUP_FLOOR = 5.0
+SEARCH_SPEEDUP_FLOOR = 20.0
 
 #: Full-mode acceptance floors, recorded in BENCH_engine.json.
 FLOORS = {
@@ -76,6 +87,7 @@ FLOORS = {
     "portfolio_volume_sweep": PORTFOLIO_SPEEDUP_FLOOR,
     "portfolio_thousand_systems": THOUSAND_SPEEDUP_FLOOR,
     "prior_draws": PRIOR_DRAWS_SPEEDUP_FLOOR,
+    "search_space": SEARCH_SPEEDUP_FLOOR,
 }
 
 #: CI gate floors for the smoke shapes (``--gate``), recorded in
@@ -89,6 +101,7 @@ SMOKE_FLOORS = {
     "portfolio_volume_sweep": 2.5,
     "portfolio_thousand_systems": 2.5,
     "prior_draws": 2.5,
+    "search_space": 5.0,
 }
 
 
@@ -313,6 +326,113 @@ def _portfolio_thousand_case(n_systems: int, points: int) -> dict:
     }
 
 
+#: Node axis of the search case, advanced to mature (the full catalog
+#: minus the carrier-only rdl/si entries).  Packaging linearization is
+#: node-invariant, so a deep node axis is exactly the shape the dense
+#: evaluator amortizes best — and the shape the paper's exploration
+#: sweeps actually take.
+_SEARCH_NODES = (
+    "3nm", "5nm", "7nm", "10nm", "12nm", "14nm", "16nm",
+    "22nm", "28nm", "40nm", "65nm", "90nm",
+)
+
+
+def _search_space(n_areas: int, n_nodes: int) -> "object":
+    from repro.search.space import DesignSpace
+
+    return DesignSpace(
+        module_areas=tuple(
+            100.0 + 600.0 * i / max(1, n_areas - 1) for i in range(n_areas)
+        ),
+        nodes=_SEARCH_NODES[:n_nodes],
+        technologies=("mcm", "2.5d"),
+        chiplet_counts=(2, 3, 4, 5, 6),
+        d2d_fractions=(0.10,),
+        quantity=500_000.0,
+        objectives=("total", "footprint"),
+        top_k=10,
+    )
+
+
+def _search_space_case(n_areas: int, n_nodes: int, stride: int) -> dict:
+    """Vectorized design-space search vs the naive per-candidate oracle.
+
+    The fast path sweeps the full space; the naive loop (one ``System``
+    built and priced through the core functions per candidate) is timed
+    on the area-strided subsample — itself a valid ``DesignSpace``, so
+    both paths are also run over that common grid and asserted
+    bit-identical per candidate, with the pruned frontier set-identical
+    to the ``pareto_frontier`` oracle, before any speedup is reported.
+    """
+    from repro.explore.pareto import pareto_frontier
+    from repro.search.engine import run_search
+    from repro.search.evaluate import SpaceEvaluator
+    from repro.search.oracle import oracle_candidate
+    from repro.search.space import DesignSpace
+
+    space = _search_space(n_areas, n_nodes)
+
+    start = time.perf_counter()
+    result = run_search(space)
+    fast_s = time.perf_counter() - start
+
+    subspace = DesignSpace(
+        module_areas=space.module_areas[::stride],
+        nodes=space.nodes,
+        technologies=space.technologies,
+        chiplet_counts=space.chiplet_counts,
+        d2d_fractions=space.d2d_fractions,
+        quantity=space.quantity,
+        objectives=space.objectives,
+        top_k=space.top_k,
+    )
+    start = time.perf_counter()
+    naive = [
+        oracle_candidate(subspace, index)
+        for index in range(subspace.n_candidates)
+    ]
+    naive_s = time.perf_counter() - start
+
+    # Parity on the common grid: every candidate metric bit-identical...
+    mismatches = 0
+    for block in SpaceEvaluator(subspace).blocks():
+        for offset in range(len(block)):
+            candidate = naive[block.start + offset]
+            for name in subspace.metrics:
+                if float(block.metrics[name][offset]) != candidate.objective(
+                    name
+                ):
+                    mismatches += 1
+    assert mismatches == 0, "search fast/oracle metric parity broken"
+    # ... and the pruned frontier set-identical to the pareto oracle.
+    oracle_frontier = pareto_frontier(
+        naive,
+        [
+            (lambda candidate, name=name: candidate.objective(name))
+            for name in subspace.objectives
+        ],
+    )
+    sub_result = run_search(subspace)
+    assert sub_result.frontier_indices() == tuple(
+        sorted(candidate.index for candidate in oracle_frontier)
+    ), "search frontier/pareto oracle set identity broken"
+
+    candidates = space.n_candidates
+    sampled = subspace.n_candidates
+    fast_rate = candidates / fast_s
+    naive_rate = sampled / naive_s
+    return {
+        "candidates": candidates,
+        "sampled": sampled,
+        "frontier": len(result.frontier),
+        "naive_seconds": naive_s,
+        "fast_seconds": fast_s,
+        "naive_candidates_per_sec": naive_rate,
+        "fast_candidates_per_sec": fast_rate,
+        "speedup": fast_rate / naive_rate,
+    }
+
+
 def _prior_draws_case(draws: int) -> dict:
     """Per-call prior stream (the scalar sampler's draw loop) vs the
     MT19937-transplant vectorized stream of ``repro.engine.rng``.
@@ -382,6 +502,7 @@ _SHAPES = {
         "portfolio": (3, 3, 4),
         "thousand": (100, 4),
         "prior_draws": 40_000,
+        "search": (12, 3, 3),
     },
     "gate": {
         "rounds": 3,
@@ -390,6 +511,7 @@ _SHAPES = {
         "portfolio": (4, 4, 10),
         "thousand": (500, 10),
         "prior_draws": 200_000,
+        "search": (200, 6, 10),
     },
     "full": {
         "rounds": 5,
@@ -400,6 +522,9 @@ _SHAPES = {
         "portfolio": (4, 4, 20),
         "thousand": (1000, 20),
         "prior_draws": 400_000,
+        # 800 areas x 12 nodes x 2 techs x 5 counts (+ SoC references)
+        # = 105,600 candidates; the naive loop samples every 16th area.
+        "search": (800, 12, 16),
     },
 }
 
@@ -414,6 +539,7 @@ def run_bench(smoke: bool = False, mode: str | None = None) -> dict:
     portfolio_shape = shapes["portfolio"]
     thousand_shape = shapes["thousand"]
     prior_draws = shapes["prior_draws"]
+    search_shape = shapes["search"]
 
     mc = max(
         (_monte_carlo_case(mc_draws) for _ in range(rounds)),
@@ -435,6 +561,10 @@ def run_bench(smoke: bool = False, mode: str | None = None) -> dict:
         (_prior_draws_case(prior_draws) for _ in range(rounds)),
         key=lambda case: case["speedup"],
     )
+    search = max(
+        (_search_space_case(*search_shape) for _ in range(rounds)),
+        key=lambda case: case["speedup"],
+    )
     return {
         "bench": "bench_perf_engine",
         "mode": mode,
@@ -444,6 +574,7 @@ def run_bench(smoke: bool = False, mode: str | None = None) -> dict:
         "portfolio_volume_sweep": portfolio,
         "portfolio_thousand_systems": thousand,
         "prior_draws": prior,
+        "search_space": search,
         "floors": dict(FLOORS),
         "smoke_floors": dict(SMOKE_FLOORS),
     }
@@ -455,6 +586,7 @@ def _report(results: dict) -> str:
     portfolio = results["portfolio_volume_sweep"]
     thousand = results["portfolio_thousand_systems"]
     prior = results["prior_draws"]
+    search = results["search_space"]
     return "\n".join(
         [
             f"engine perf bench ({results['mode']})",
@@ -478,6 +610,10 @@ def _report(results: dict) -> str:
             f"percall {prior['naive_draws_per_sec']:>8.0f}/s   "
             f"vector {prior['fast_draws_per_sec']:>10.0f}/s   "
             f"speedup {prior['speedup']:.1f}x",
+            f"  search space    {search['candidates']:>6} cands   "
+            f"naive {search['naive_candidates_per_sec']:>10.0f}/s   "
+            f"fast {search['fast_candidates_per_sec']:>12.0f}/s   "
+            f"speedup {search['speedup']:.1f}x",
         ]
     )
 

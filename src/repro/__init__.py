@@ -135,6 +135,7 @@ from repro.scenario import (
     run_scenario,
     save_scenario,
 )
+from repro.search import DesignSpace, SearchResult, run_search
 
 __version__ = "1.0.0"
 
@@ -242,4 +243,8 @@ __all__ = [
     "run_scenario",
     "load_scenario",
     "save_scenario",
+    # design-space search
+    "DesignSpace",
+    "SearchResult",
+    "run_search",
 ]

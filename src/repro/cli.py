@@ -334,6 +334,80 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_areas(spec: str) -> tuple[float, ...]:
+    """``start:stop:step`` range or comma list of module areas."""
+    try:
+        if ":" in spec:
+            parts = spec.split(":")
+            if len(parts) != 3:
+                raise ChipletActuaryError(
+                    f"--areas range must be start:stop:step, got {spec!r}"
+                )
+            start, stop, step = (float(part) for part in parts)
+            if step <= 0:
+                raise ChipletActuaryError(
+                    f"--areas step must be > 0, got {step:g}"
+                )
+            areas = []
+            area = start
+            while area <= stop + 1e-9:
+                areas.append(area)
+                area += step
+            return tuple(areas)
+        return tuple(float(part) for part in spec.split(",") if part)
+    except ValueError:
+        raise ChipletActuaryError(
+            f"--areas entries must be numbers, got {spec!r}"
+        ) from None
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.search.engine import run_search
+    from repro.search.space import DesignSpace
+
+    space = DesignSpace(
+        module_areas=_parse_areas(args.areas),
+        nodes=tuple(part for part in args.nodes.split(",") if part),
+        technologies=tuple(
+            part for part in args.technologies.split(",") if part
+        ),
+        chiplet_counts=tuple(
+            int(part) for part in args.chiplets.split(",") if part
+        ),
+        d2d_fractions=tuple(
+            float(part) for part in args.d2d.split(",") if part
+        ),
+        quantity=args.quantity,
+        objectives=tuple(part for part in args.objectives.split(",") if part),
+        top_k=args.top_k,
+        include_soc=not args.no_soc,
+        test_cost={} if args.test_cost else None,
+    )
+    result = run_search(
+        space,
+        die_cost_fn=_die_cost_override(args, "search"),
+        context="search",
+    )
+    table = Table(
+        ["design", "set", "total/unit", "RE/unit", "NRE total",
+         "footprint mm^2"],
+        title=(
+            f"Design-space search: {result.n_candidates} candidates, "
+            f"objectives {'/'.join(result.objectives)}"
+        ),
+    )
+    for set_name, members in (
+        ("frontier", result.frontier), ("top", result.top)
+    ):
+        for candidate in members:
+            table.add_row(
+                [candidate.label, set_name, candidate.total, candidate.re,
+                 candidate.nre, candidate.footprint]
+            )
+    print(table.render())
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.scenario import FigureStudy, ScenarioRunner, ScenarioSpec
 
@@ -576,6 +650,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_yield_arguments(montecarlo)
 
+    search = sub.add_parser(
+        "search",
+        help="sweep a design space, report its frontier and top-k designs",
+    )
+    search.add_argument(
+        "--areas", default="100:900:100", metavar="SPEC",
+        help="module areas: start:stop:step range or comma list "
+        "(default: 100:900:100)",
+    )
+    search.add_argument(
+        "--nodes", default="7nm",
+        help="comma-separated process nodes (default: 7nm)",
+    )
+    search.add_argument(
+        "--technologies", default="mcm,info,2.5d",
+        help="comma-separated integration technologies "
+        "(default: mcm,info,2.5d)",
+    )
+    search.add_argument(
+        "--chiplets", default="2,3,4,5",
+        help="comma-separated chiplet counts (default: 2,3,4,5)",
+    )
+    search.add_argument(
+        "--d2d", default="0.10",
+        help="comma-separated D2D fractions (default: 0.10)",
+    )
+    search.add_argument("--quantity", type=float, default=500_000,
+                        help="production quantity (default: 500k)")
+    search.add_argument(
+        "--objectives", default="total,footprint",
+        help="comma-separated objective metrics spanning the dominance "
+        "check (default: total,footprint)",
+    )
+    search.add_argument("--top-k", type=int, default=10,
+                        help="cost-optimal designs to report (default: 10)")
+    search.add_argument("--no-soc", action="store_true",
+                        help="skip the monolithic SoC reference candidates")
+    search.add_argument(
+        "--test-cost", action="store_true",
+        help="include tester economics (default test-cost model)",
+    )
+    _add_yield_arguments(search)
+
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("id", type=int, choices=[2, 4, 5, 6, 8, 9, 10])
 
@@ -670,6 +787,7 @@ _COMMANDS = {
     "payback": _cmd_payback,
     "sweep": _cmd_sweep,
     "montecarlo": _cmd_montecarlo,
+    "search": _cmd_search,
     "figure": _cmd_figure,
     "run": _cmd_run,
     "portfolio": _cmd_portfolio,

@@ -29,26 +29,23 @@ def pareto_frontier(
     """Non-dominated subset under *minimization* of every objective.
 
     An item is dominated when another item is no worse on every
-    objective and strictly better on at least one.
+    objective and strictly better on at least one; items with equal
+    objective vectors never dominate each other, so ties all survive.
+
+    Filtering runs on the block-wise sorted sweep of
+    :mod:`repro.search.frontier` (numpy-vectorized when available,
+    same survivors either way) instead of the pairwise O(n^2) loop;
+    the returned items keep their input order.
     """
+    from repro.search.frontier import non_dominated_mask
+
     if not objectives:
         raise InvalidParameterError("need at least one objective")
-    scores = [[objective(item) for objective in objectives] for item in items]
-
-    def dominates(a: list[float], b: list[float]) -> bool:
-        return all(x <= y for x, y in zip(a, b)) and any(
-            x < y for x, y in zip(a, b)
-        )
-
-    frontier = []
-    for index, item in enumerate(items):
-        if not any(
-            dominates(scores[other], scores[index])
-            for other in range(len(items))
-            if other != index
-        ):
-            frontier.append(item)
-    return frontier
+    scores = [
+        tuple(objective(item) for objective in objectives) for item in items
+    ]
+    mask = non_dominated_mask(scores)
+    return [item for item, kept in zip(items, mask) if kept]
 
 
 @dataclass(frozen=True)

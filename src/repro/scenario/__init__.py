@@ -18,6 +18,7 @@ from repro.scenario.spec import (
     PartitionSweepStudy,
     ReuseStudy,
     ScenarioSpec,
+    SearchStudy,
     SensitivityStudy,
     SystemsStudy,
     load_scenario,
@@ -50,6 +51,7 @@ __all__ = [
     "PartitionGridStudy",
     "MonteCarloStudy",
     "ParetoStudy",
+    "SearchStudy",
     "SensitivityStudy",
     "ReuseStudy",
     "ScenarioSpec",

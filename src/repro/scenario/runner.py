@@ -13,7 +13,8 @@ the corresponding ``run_figN`` + printer pipeline (parity-tested in
 
 Registry-name resolution is uniform across study kinds: every
 non-figure study (``systems``, ``partition_sweep``, ``partition_grid``,
-``montecarlo``, ``pareto``, ``sensitivity``, ``reuse``) accepts
+``montecarlo``, ``pareto``, ``search``, ``sensitivity``, ``reuse``)
+accepts
 ``yield_model`` / ``wafer_geometry`` names, resolved through
 :meth:`repro.config.ConfigRegistries.die_cost_fn` into a die-pricing
 override threaded into the engine entry point the executor uses —
@@ -48,6 +49,7 @@ from repro.scenario.spec import (
     PartitionSweepStudy,
     ReuseStudy,
     ScenarioSpec,
+    SearchStudy,
     SensitivityStudy,
     SystemsStudy,
     scenario_from_dict,
@@ -531,6 +533,42 @@ def _run_pareto(
              "*" if id(point) in on_frontier else ""]
         )
     return {"points": points, "frontier": frontier}, table.render(), table.records()
+
+
+@_executor("search")
+def _run_search(
+    runner: ScenarioRunner, study: SearchStudy, registries: ConfigRegistries
+) -> tuple[Any, str]:
+    from repro.search.engine import candidate_rows, run_search
+
+    space = study.space()
+    result = run_search(
+        space,
+        registries=registries,
+        die_cost_fn=runner._die_cost_override(registries, study),
+        context=study.name,
+    )
+    table = Table(
+        ["design", "set", "total/unit", "RE/unit", "NRE total",
+         "footprint mm^2"],
+        title=(
+            f"Design-space search: {result.n_candidates} candidates, "
+            f"objectives {'/'.join(result.objectives)}"
+        ),
+    )
+    for set_name, members in (
+        ("frontier", result.frontier), ("top", result.top)
+    ):
+        for candidate in members:
+            table.add_row(
+                [candidate.label, set_name, candidate.total, candidate.re,
+                 candidate.nre, candidate.footprint]
+            )
+    return (
+        {"result": result, "frontier": result.frontier, "top": result.top},
+        table.render(),
+        candidate_rows(result),
+    )
 
 
 @_executor("sensitivity")

@@ -16,6 +16,7 @@ Study kinds (each a dataclass below, dispatched by its ``kind`` key):
 ``partition_grid``   RE cost across areas x chiplet counts
 ``montecarlo``       cost distribution under defect-density uncertainty
 ``pareto``           cost/footprint design-space + frontier
+``search``           vectorized design-space search + dominance pruning
 ``sensitivity``      tornado study over model parameters
 ``reuse``            an SCMS / OCME / FSMC reuse-portfolio study
 """
@@ -176,6 +177,62 @@ class ParetoStudy:
     d2d_fraction: float = 0.10
     yield_model: str = ""
     wafer_geometry: str = ""
+
+
+@register_study_type
+@dataclass(frozen=True)
+class SearchStudy:
+    """Vectorized design-space search (``repro.search``).
+
+    The axes mirror :class:`~repro.search.space.DesignSpace` with
+    registry *names* throughout; the study streams every candidate
+    through the dense evaluator and reports the Pareto frontier under
+    ``objectives`` plus the ``top_k`` cost-optimal designs.  An empty
+    ``test_cost`` mapping enables tester economics with default
+    parameters; omit the key to skip test metrics.
+    """
+
+    kind = "search"
+    name: str
+    module_areas: tuple[float, ...]
+    nodes: tuple[str, ...]
+    technologies: tuple[str, ...] = ("mcm", "info", "2.5d")
+    chiplet_counts: tuple[int, ...] = (2, 3, 4, 5)
+    d2d_fractions: tuple[float, ...] = (0.10,)
+    quantity: float = 500_000.0
+    objectives: tuple[str, ...] = ("total", "footprint")
+    top_k: int = 10
+    include_soc: bool = True
+    test_cost: Mapping[str, Any] | None = None
+    batch_size: int = 4096
+    yield_model: str = ""
+    wafer_geometry: str = ""
+
+    def __post_init__(self) -> None:
+        self.space()  # validate the axes eagerly, with study context
+
+    def space(self):
+        """The study's :class:`~repro.search.space.DesignSpace`."""
+        from repro.search.space import DesignSpace
+
+        try:
+            return DesignSpace(
+                module_areas=self.module_areas,
+                nodes=self.nodes,
+                technologies=self.technologies,
+                chiplet_counts=self.chiplet_counts,
+                d2d_fractions=self.d2d_fractions,
+                quantity=self.quantity,
+                objectives=self.objectives,
+                top_k=self.top_k,
+                include_soc=self.include_soc,
+                test_cost=self.test_cost,
+                batch_size=self.batch_size,
+            )
+        except ConfigError as error:
+            raise ConfigError(
+                f"search study {self.name!r}: {error}"
+            ) from None
 
 
 @register_study_type

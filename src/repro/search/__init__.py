@@ -1,0 +1,55 @@
+"""Design-space search: vectorized candidate generation + dominance pruning.
+
+The subsystem turns the cost engine into an optimizer.  A
+:class:`~repro.search.space.DesignSpace` names the axes to sweep;
+:func:`~repro.search.engine.run_search` streams dense candidate blocks
+through the vectorized evaluator and prunes them block-wise to a Pareto
+frontier plus a top-k cost ranking — never building one ``System``
+object per candidate on the hot path.  ``repro.search.oracle`` holds
+the naive per-candidate reference the fast path is parity-tested
+against.
+
+Submodules import lazily (PEP 562) so ``import repro.search`` stays
+cheap for callers that only need one piece.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "DEFAULT_BLOCK_SIZE": "repro.search.frontier",
+    "FrontierAccumulator": "repro.search.frontier",
+    "non_dominated": "repro.search.frontier",
+    "non_dominated_mask": "repro.search.frontier",
+    "CandidateAxes": "repro.search.space",
+    "CandidateGroup": "repro.search.space",
+    "DesignSpace": "repro.search.space",
+    "OBJECTIVES": "repro.search.space",
+    "OBJECTIVE_DESCRIPTIONS": "repro.search.space",
+    "space_from_dict": "repro.search.space",
+    "space_to_dict": "repro.search.space",
+    "EvalBlock": "repro.search.evaluate",
+    "SpaceEvaluator": "repro.search.evaluate",
+    "SearchCandidate": "repro.search.engine",
+    "SearchResult": "repro.search.engine",
+    "candidate_rows": "repro.search.engine",
+    "run_search": "repro.search.engine",
+    "oracle_candidate": "repro.search.oracle",
+    "run_search_oracle": "repro.search.oracle",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

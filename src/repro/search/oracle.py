@@ -1,0 +1,118 @@
+"""Naive per-candidate reference for the design-space search.
+
+``oracle_candidate`` builds one :class:`~repro.core.system.System` per
+candidate (the thing the vectorized evaluator deliberately never does)
+and prices it through the plain core functions; ``run_search_oracle``
+does that for a whole space and filters the frontier through
+``repro.explore.pareto.pareto_frontier``.  Both exist to be *compared
+against*: tests and the perf benchmark assert that the fast path in
+:mod:`repro.search.engine` returns bit-identical metrics and a
+set-identical frontier, and the benchmark times this loop to quantify
+the speedup.
+"""
+
+from __future__ import annotations
+
+from repro.config import ConfigRegistries
+from repro.core.amortize import amortized_unit_nre
+from repro.core.nre_cost import compute_system_nre
+from repro.core.re_cost import compute_re_cost
+from repro.errors import ConfigError, RegistryError
+from repro.explore.partition import partition_monolith, soc_reference
+from repro.explore.pareto import pareto_frontier
+from repro.packaging.soc import soc_package
+from repro.packaging.testcost import compute_tested_re_cost
+from repro.search.engine import SearchCandidate, SearchResult
+from repro.search.evaluate import DieCostFn
+from repro.search.space import DesignSpace
+
+
+def oracle_candidate(
+    space: DesignSpace,
+    index: int,
+    registries: ConfigRegistries | None = None,
+    die_cost_fn: DieCostFn | None = None,
+    context: str = "search oracle",
+) -> SearchCandidate:
+    """Price one candidate the slow way (one System, core functions)."""
+    registries = registries if registries is not None else ConfigRegistries()
+    axes = space.axes(index)
+    try:
+        node = registries.nodes.resolve(axes.node)
+        if axes.scheme == "soc":
+            integration = soc_package()
+        else:
+            integration = registries.technologies.create(axes.technology)
+    except RegistryError as error:
+        raise ConfigError(f"{context}: {error}") from error
+    if axes.scheme == "soc":
+        system = soc_reference(
+            axes.module_area, node, quantity=space.quantity
+        )
+    else:
+        system = partition_monolith(
+            axes.module_area,
+            node,
+            axes.chiplets,
+            integration,
+            d2d_fraction=axes.d2d_fraction,
+            quantity=space.quantity,
+        )
+    re = compute_re_cost(system, die_cost_fn=die_cost_fn)
+    amortized = amortized_unit_nre(compute_system_nre(system), space.quantity)
+    model = space.test_model()
+    test_cost = None
+    if model is not None:
+        test_cost = compute_tested_re_cost(system, model).test_total
+    return SearchCandidate(
+        index=index,
+        scheme=axes.scheme,
+        technology=axes.technology,
+        node=axes.node,
+        chiplets=axes.chiplets,
+        d2d_fraction=axes.d2d_fraction,
+        module_area=axes.module_area,
+        re=re.total,
+        nre=amortized.total * space.quantity,
+        total=re.total + amortized.total,
+        silicon_area=system.silicon_area,
+        footprint=system.integration.package_area(system.chip_areas),
+        test_cost=test_cost,
+    )
+
+
+def run_search_oracle(
+    space: DesignSpace,
+    registries: ConfigRegistries | None = None,
+    die_cost_fn: DieCostFn | None = None,
+    context: str = "search oracle",
+) -> SearchResult:
+    """Full-space reference search (every candidate, pairwise-grade
+    frontier via :func:`pareto_frontier`, same top-k rule)."""
+    candidates = [
+        oracle_candidate(
+            space, index, registries=registries,
+            die_cost_fn=die_cost_fn, context=context,
+        )
+        for index in range(space.n_candidates)
+    ]
+    frontier = pareto_frontier(
+        candidates,
+        [
+            (lambda candidate, name=name: candidate.objective(name))
+            for name in space.objectives
+        ],
+    )
+    best = sorted(
+        candidates, key=lambda candidate: (candidate.total, candidate.index)
+    )[: space.top_k]
+    return SearchResult(
+        space=space,
+        n_candidates=len(candidates),
+        objectives=tuple(space.objectives),
+        frontier=tuple(frontier),
+        top=tuple(best),
+    )
+
+
+__all__ = ["oracle_candidate", "run_search_oracle"]

@@ -164,3 +164,80 @@ def test_run_invalid_file_is_clean_error(capsys, tmp_path):
     code, _out, err = run_cli(capsys, "run", str(path))
     assert code == 2
     assert "error:" in err
+
+
+def test_search_reports_frontier_and_top(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "search",
+        "--areas", "300,600",
+        "--nodes", "7nm,14nm",
+        "--technologies", "mcm",
+        "--chiplets", "2,3",
+        "--top-k", "3",
+    )
+    assert code == 0
+    assert "Design-space search: 12 candidates" in out
+    assert "objectives total/footprint" in out
+    assert "frontier" in out
+    assert "top" in out
+    assert "soc x1" in out
+
+
+def test_search_area_range_spec(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "search",
+        "--areas", "200:400:100",
+        "--nodes", "7nm",
+        "--technologies", "mcm",
+        "--chiplets", "2",
+        "--no-soc",
+    )
+    assert code == 0
+    # 3 areas x 1 node x 1 tech x 1 count, no SoC reference
+    assert "Design-space search: 3 candidates" in out
+
+
+def test_search_named_yield_model_repriced(capsys):
+    argv = ["search", "--areas", "600", "--nodes", "7nm",
+            "--technologies", "mcm", "--chiplets", "2,3", "--top-k", "2"]
+    code, base, _err = run_cli(capsys, *argv)
+    assert code == 0
+    code, priced, _err = run_cli(
+        capsys, *argv, "--yield-model", "murphy",
+        "--wafer-geometry", "450mm",
+    )
+    assert code == 0
+    assert base != priced
+
+
+def test_search_test_cost_objective(capsys):
+    code, out, _err = run_cli(
+        capsys,
+        "search",
+        "--areas", "600",
+        "--nodes", "7nm",
+        "--technologies", "mcm",
+        "--chiplets", "2,3",
+        "--test-cost",
+        "--objectives", "test_cost,total",
+    )
+    assert code == 0
+    assert "objectives test_cost/total" in out
+
+
+@pytest.mark.parametrize("areas", ["100:900", "100:900:0", "abc"])
+def test_search_bad_area_spec_is_clean_error(capsys, areas):
+    code, _out, err = run_cli(capsys, "search", "--areas", areas)
+    assert code == 2
+    assert "error:" in err
+
+
+def test_search_unknown_objective_is_clean_error(capsys):
+    code, _out, err = run_cli(
+        capsys, "search", "--areas", "600", "--objectives", "total,warp"
+    )
+    assert code == 2
+    assert "error:" in err
+    assert "unknown objective" in err

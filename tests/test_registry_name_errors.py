@@ -54,12 +54,16 @@ def _study(kind: str, **overrides) -> dict:
                            "module_areas": [200.0, 400.0],
                            "chiplet_counts": [1, 2], "node": "7nm",
                            "technology": "mcm"},
+        "search": {"kind": "search", "name": "ds",
+                   "module_areas": [600.0], "nodes": ["7nm", "14nm"],
+                   "technologies": ["mcm"], "chiplet_counts": [2, 3],
+                   "quantity": 5e5, "top_k": 3},
     }[kind]
     return {**base, **overrides}
 
 
 ALL_KINDS = ("systems", "montecarlo", "pareto", "sensitivity", "reuse",
-             "partition_sweep", "partition_grid")
+             "partition_sweep", "partition_grid", "search")
 
 
 class TestUnknownNames:

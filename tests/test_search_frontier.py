@@ -1,0 +1,152 @@
+"""Dominance pruning (`repro.search.frontier`) against the brute-force
+oracle: the vectorized sweep, the two-objective prefix-min fast path,
+and the scalar fallback must all keep exactly the pairwise-non-dominated
+subset, ties and duplicates included."""
+
+import random
+
+import pytest
+
+import repro.search.frontier as frontier
+from repro.errors import InvalidParameterError
+from repro.search.frontier import (
+    DEFAULT_BLOCK_SIZE,
+    FrontierAccumulator,
+    non_dominated,
+    non_dominated_mask,
+)
+
+
+def _brute_force(scores):
+    def dominates(a, b):
+        return all(x <= y for x, y in zip(a, b)) and any(
+            x < y for x, y in zip(a, b)
+        )
+
+    return [
+        not any(
+            dominates(other, row)
+            for other in scores
+            if other is not row
+        )
+        for row in scores
+    ]
+
+
+def _random_scores(rng, count, width, grid):
+    """Coarse integer grid so ties and exact duplicates are common."""
+    return [
+        tuple(float(rng.randrange(grid)) for _ in range(width))
+        for _ in range(count)
+    ]
+
+
+class TestMaskMatchesBruteForce:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    @pytest.mark.parametrize("block_size", [1, 2, 7, DEFAULT_BLOCK_SIZE])
+    def test_fuzz(self, width, block_size):
+        rng = random.Random(width * 1000 + block_size)
+        for trial in range(25):
+            scores = _random_scores(
+                rng, count=rng.randrange(1, 60), width=width,
+                grid=rng.choice([2, 4, 10]),
+            )
+            assert non_dominated_mask(scores, block_size) == _brute_force(
+                scores
+            ), (width, block_size, trial, scores)
+
+    def test_duplicates_all_survive(self):
+        scores = [(1.0, 2.0), (1.0, 2.0), (1.0, 2.0), (3.0, 3.0)]
+        assert non_dominated_mask(scores) == [True, True, True, False]
+
+    def test_single_candidate_kept(self):
+        assert non_dominated_mask([(5.0, 5.0)]) == [True]
+
+    def test_empty_input(self):
+        assert non_dominated_mask([]) == []
+        assert non_dominated([]) == []
+
+    def test_classic_staircase(self):
+        scores = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0),
+                  (3.0, 3.0), (4.0, 4.0)]
+        assert non_dominated(scores) == [0, 1, 2, 3]
+
+    @pytest.mark.skipif(frontier._np is None, reason="needs numpy")
+    def test_accepts_numpy_arrays(self):
+        table = frontier._np.asarray(
+            [(1.0, 4.0), (2.0, 3.0), (2.0, 5.0)], dtype=float
+        )
+        assert non_dominated_mask(table) == [True, True, False]
+
+
+class TestScalarFallback:
+    @pytest.mark.skipif(frontier._np is None, reason="needs numpy")
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_scalar_path_agrees_with_numpy(self, width, monkeypatch):
+        rng = random.Random(width)
+        cases = [
+            _random_scores(rng, rng.randrange(1, 50), width, grid=5)
+            for _ in range(15)
+        ]
+        vectorized = [non_dominated_mask(scores) for scores in cases]
+        monkeypatch.setattr(frontier, "_np", None)
+        assert [non_dominated_mask(scores) for scores in cases] == vectorized
+
+    def test_scalar_matches_brute_force(self, monkeypatch):
+        monkeypatch.setattr(frontier, "_np", None)
+        rng = random.Random(7)
+        for _ in range(20):
+            scores = _random_scores(rng, rng.randrange(1, 40), 3, grid=4)
+            assert non_dominated_mask(scores) == _brute_force(scores)
+
+
+class TestValidation:
+    def test_zero_objectives_rejected(self):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            non_dominated_mask([(), ()])
+
+    @pytest.mark.parametrize("block_size", [0, -1])
+    def test_bad_block_size_rejected(self, block_size):
+        with pytest.raises(InvalidParameterError, match="block_size"):
+            non_dominated_mask([(1.0, 2.0)], block_size)
+
+
+class TestFrontierAccumulator:
+    def test_shuffled_blocks_match_one_shot(self):
+        rng = random.Random(42)
+        scores = _random_scores(rng, 200, 2, grid=12)
+        expected = {
+            index for index, kept in enumerate(non_dominated_mask(scores))
+            if kept
+        }
+        indices = list(range(len(scores)))
+        rng.shuffle(indices)
+        accumulator = FrontierAccumulator()
+        for start in range(0, len(indices), 17):
+            chunk = indices[start:start + 17]
+            accumulator.add(
+                [scores[index] for index in chunk], chunk
+            )
+        assert set(accumulator.members()) == expected
+        assert len(accumulator) == len(expected)
+
+    def test_members_keep_insertion_order(self):
+        accumulator = FrontierAccumulator()
+        accumulator.add([(1.0, 4.0), (4.0, 1.0)], ["a", "b"])
+        accumulator.add([(2.0, 2.0)], ["c"])
+        assert accumulator.members() == ["a", "b", "c"]
+
+    def test_later_block_can_evict(self):
+        accumulator = FrontierAccumulator()
+        accumulator.add([(3.0, 3.0)], ["loser"])
+        accumulator.add([(1.0, 1.0)], ["winner"])
+        assert accumulator.members() == ["winner"]
+
+    def test_empty_add_is_noop(self):
+        accumulator = FrontierAccumulator()
+        accumulator.add([], [])
+        assert accumulator.members() == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError, match="equal length"):
+            FrontierAccumulator().add([(1.0, 2.0)], [])
