@@ -136,6 +136,7 @@ from repro.scenario import (
     save_scenario,
 )
 from repro.search import DesignSpace, SearchResult, run_search
+from repro.analysis import AnalysisReport, analyze_paths, all_rule_ids
 
 __version__ = "1.0.0"
 
@@ -247,4 +248,8 @@ __all__ = [
     "DesignSpace",
     "SearchResult",
     "run_search",
+    # contract linter
+    "AnalysisReport",
+    "analyze_paths",
+    "all_rule_ids",
 ]

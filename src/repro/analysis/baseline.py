@@ -1,0 +1,72 @@
+"""Baseline file: grandfathered findings the linter tolerates.
+
+The committed baseline (``analysis-baseline.json`` at the repo root)
+maps known findings — by their line-number-free fingerprint — so a new
+rule can land before every legacy violation is fixed, while CI still
+gates on *new* findings.  The project policy is to keep it empty; the
+machinery exists so a future rule with unavoidable grandfathered hits
+does not block the gate.
+
+Format::
+
+    {"version": 1,
+     "findings": [{"fingerprint": ..., "rule": ..., "path": ...,
+                   "message": ...}, ...]}
+
+Written atomically (``repro.ioutil``) and sorted, so regeneration is
+diff-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from repro.analysis.context import Finding
+from repro.errors import AnalysisError
+from repro.ioutil import atomic_write_text
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> frozenset[str]:
+    """Fingerprints recorded in the baseline file at ``path``."""
+    if not os.path.exists(path):
+        raise AnalysisError(f"baseline file not found: {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise AnalysisError(f"unreadable baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise AnalysisError(
+            f"malformed baseline {path}: expected a 'findings' list"
+        )
+    fingerprints = set()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise AnalysisError(
+                f"malformed baseline {path}: every finding needs a "
+                "'fingerprint'"
+            )
+        fingerprints.add(entry["fingerprint"])
+    return frozenset(fingerprints)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Record ``findings`` as the new baseline at ``path`` (atomic)."""
+    entries = sorted(
+        (
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in findings
+        ),
+        key=lambda entry: entry["fingerprint"],
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,182 @@
+"""Per-file analysis context: parsed source, module identity, suppressions.
+
+Every rule sees the same :class:`FileContext`: the raw source, its AST,
+the canonicalized repo-relative path, the dotted ``repro.*`` module name
+(when the file belongs to the package) and the parsed suppression
+comments.  Suppressions use the idiom::
+
+    risky_call()  # repro-lint: ignore[atomic-write]
+    other_call()  # repro-lint: ignore            (all rules, this line)
+
+and, for grandfathering a whole file::
+
+    # repro-lint: ignore-file[layering, cache-safety]
+
+A finding is suppressed when its line carries an ``ignore`` comment
+naming its rule (or naming no rule at all), or when the file carries an
+``ignore-file`` for the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+#: Matches one suppression comment; group 1 is "-file" or "", group 2 the
+#: optional bracketed rule list.
+_SUPPRESS = re.compile(
+    r"#\s*repro-lint:\s*ignore(-file)?(?:\[([A-Za-z0-9_,\- ]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file.
+
+        Keyed on (rule, canonical path, message) so unrelated edits that
+        shift line numbers do not invalidate a grandfathered finding.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def canonical_path(path: str) -> str:
+    """Repo-relative posix form of ``path`` used in reports and baselines.
+
+    Absolute paths are made relative to the working directory when
+    possible; a leading ``src/`` prefix is stripped so ``src/repro/x.py``
+    and ``repro/x.py`` (and the same file reached via an absolute path)
+    fingerprint identically.
+    """
+    posix = path.replace(os.sep, "/")
+    if os.path.isabs(path):
+        try:
+            relative = os.path.relpath(path, os.getcwd())
+        except ValueError:  # pragma: no cover - windows cross-drive
+            relative = path
+        if not relative.startswith(".."):
+            posix = relative.replace(os.sep, "/")
+    posix = posix.lstrip("./")
+    if "src/" in posix:
+        posix = posix.rsplit("src/", 1)[1]
+    return posix
+
+
+def module_name(path: str) -> str | None:
+    """Dotted module name for files under the ``repro`` package.
+
+    ``src/repro/engine/fastmc.py`` -> ``repro.engine.fastmc``;
+    ``src/repro/engine/__init__.py`` -> ``repro.engine``; files outside
+    the package (tools/, benchmarks/) return ``None``.
+    """
+    parts = canonical_path(path).split("/")
+    if "repro" not in parts:
+        return None
+    parts = parts[parts.index("repro"):]
+    if not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def parse_suppressions(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[str] | None]:
+    """``(line -> rule ids, file-wide rule ids)`` from suppression comments.
+
+    An empty rule set means "every rule".  The file-wide element is
+    ``None`` when no ``ignore-file`` comment is present.
+    """
+    per_line: dict[int, frozenset[str]] = {}
+    file_wide: frozenset[str] | None = None
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS.search(text)
+        if not match:
+            continue
+        rules = frozenset(
+            part.strip() for part in (match.group(2) or "").split(",")
+            if part.strip()
+        )
+        if match.group(1):
+            file_wide = (file_wide or frozenset()) | rules
+        else:
+            per_line[lineno] = per_line.get(lineno, frozenset()) | rules
+    return per_line, file_wide
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one file."""
+
+    path: str
+    source: str
+    canonical: str = ""
+    module: str | None = None
+    tree: ast.AST = None  # type: ignore[assignment]
+    line_suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_suppressions: frozenset[str] | None = None
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            raise AnalysisError(
+                f"{canonical_path(path)}:{error.lineno or 0}: "
+                f"cannot analyze file: {error.msg}"
+            ) from error
+        per_line, file_wide = parse_suppressions(source)
+        return cls(
+            path=path,
+            source=source,
+            canonical=canonical_path(path),
+            module=module_name(path),
+            tree=tree,
+            line_suppressions=per_line,
+            file_suppressions=file_wide,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if self.file_suppressions is not None and (
+            not self.file_suppressions or finding.rule in self.file_suppressions
+        ):
+            return True
+        rules = self.line_suppressions.get(finding.line)
+        if rules is None:
+            return False
+        return not rules or finding.rule in rules
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in this file."""
+        return Finding(
+            rule=rule,
+            path=self.canonical,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

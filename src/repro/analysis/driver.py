@@ -1,0 +1,104 @@
+"""Analysis driver: file collection, rule execution, filtering.
+
+Entry points:
+
+* :func:`analyze_paths` — what ``repro lint`` calls: walk the given
+  files/directories, parse every ``*.py`` (skipping ``__pycache__`` and
+  hidden directories), run every registered rule, apply suppressions
+  and the optional baseline.
+* :func:`analyze_sources` — the same pipeline over in-memory
+  ``(path, source)`` pairs; the test surface, and the reason every rule
+  scopes itself by *path shape* rather than filesystem location.
+
+Per-file rules run for each file; project rules (``check_project``,
+e.g. import-cycle detection) run once over the full context set, so the
+cycle report is exactly as complete as the path set passed in.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import load_baseline
+from repro.analysis.context import FileContext, Finding
+from repro.analysis.registry import all_rule_ids, all_rules
+from repro.analysis.report import AnalysisReport
+from repro.errors import AnalysisError
+
+_SKIP_DIRS = {"__pycache__", ".git"}
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    """Python files under ``paths`` (files kept as-is, dirs walked)."""
+    collected: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            collected.append(path)
+        elif os.path.isdir(path):
+            for directory, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames
+                    if name not in _SKIP_DIRS and not name.startswith(".")
+                )
+                collected.extend(
+                    os.path.join(directory, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return collected
+
+
+def analyze_sources(
+    items: Iterable[tuple[str, str]],
+    baseline: frozenset[str] | None = None,
+) -> AnalysisReport:
+    """Run every registered rule over ``(path, source)`` pairs."""
+    contexts = [FileContext.parse(path, source) for path, source in items]
+    by_canonical = {ctx.canonical: ctx for ctx in contexts}
+
+    raw: list[Finding] = []
+    for rule in all_rules():
+        for ctx in contexts:
+            raw.extend(rule.check_file(ctx))
+        raw.extend(rule.check_project(contexts))
+
+    active: list[Finding] = []
+    baselined: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        ctx = by_canonical.get(finding.path)
+        if ctx is not None and ctx.is_suppressed(finding):
+            suppressed += 1
+            continue
+        if baseline and finding.fingerprint in baseline:
+            baselined.append(finding)
+            continue
+        active.append(finding)
+
+    order = lambda f: (f.path, f.line, f.col, f.rule)  # noqa: E731
+    return AnalysisReport(
+        findings=tuple(sorted(active, key=order)),
+        baselined=tuple(sorted(baselined, key=order)),
+        suppressed=suppressed,
+        files=tuple(ctx.canonical for ctx in contexts),
+        rule_ids=tuple(all_rule_ids()),
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    baseline_path: str | None = None,
+) -> AnalysisReport:
+    """Analyze files/directories on disk, honoring an optional baseline."""
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    items: list[tuple[str, str]] = []
+    for path in collect_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                items.append((path, handle.read()))
+        except (OSError, UnicodeDecodeError) as error:
+            raise AnalysisError(f"cannot read {path}: {error}") from error
+    return analyze_sources(items, baseline=baseline)

@@ -1,0 +1,69 @@
+"""Analysis report: the outcome of one linter run, with two renderers.
+
+``render_text`` prints ``path:line:col: rule-id message`` lines plus a
+summary (the human surface); ``to_json`` emits a stable machine payload
+(the CI artifact).  The exit-code contract mirrors ``corpus run``'s
+documented style: 0 = clean (every finding baselined or suppressed),
+1 = active findings, 2 = usage/model error before analysis ran.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.context import Finding
+
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Findings from one run, already split by suppression/baseline."""
+
+    findings: tuple[Finding, ...]
+    baselined: tuple[Finding, ...] = ()
+    suppressed: int = 0
+    files: tuple[str, ...] = field(default=())
+    rule_ids: tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> str:
+        payload = {
+            "version": REPORT_VERSION,
+            "files": len(self.files),
+            "rules": list(self.rule_ids),
+            "findings": [finding.as_dict() for finding in self.findings],
+            "baselined": [
+                finding.fingerprint for finding in self.baselined
+            ],
+            "suppressed": self.suppressed,
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def render_text(self) -> str:
+        lines = [
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}"
+            for finding in self.findings
+        ]
+        tail = []
+        if self.baselined:
+            tail.append(f"{len(self.baselined)} baselined")
+        if self.suppressed:
+            tail.append(f"{self.suppressed} suppressed")
+        suffix = f" ({', '.join(tail)})" if tail else ""
+        if self.findings:
+            lines.append(
+                f"{len(self.findings)} finding(s) across "
+                f"{len(self.files)} file(s){suffix}"
+            )
+        else:
+            lines.append(
+                f"clean: {len(self.files)} file(s), "
+                f"{len(self.rule_ids)} rule(s){suffix}"
+            )
+        return "\n".join(lines)

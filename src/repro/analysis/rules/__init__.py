@@ -1,0 +1,20 @@
+"""Built-in contract rules; importing this package registers them all.
+
+One module per rule family (ids in parentheses):
+
+* :mod:`.layering` — import direction + cycles (``layering``)
+* :mod:`.numpy_guard` — numpy-optional discipline (``numpy-guard``)
+* :mod:`.cache_safety` — memoization hygiene (``cache-safety``)
+* :mod:`.determinism` — bit-parity hazards (``parity-determinism``)
+* :mod:`.atomic_write` — crash-safe writes (``atomic-write``)
+* :mod:`.taxonomy` — contextual errors (``error-taxonomy``)
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    atomic_write,
+    cache_safety,
+    determinism,
+    layering,
+    numpy_guard,
+    taxonomy,
+)

@@ -1,0 +1,84 @@
+"""Atomic-write discipline: persistent artifacts go through repro.ioutil.
+
+The corpus result store and the scenario sinks promise that a reader
+never observes a partially written file (docs/store/layout.md); the
+promise is kept by routing every write through
+:func:`repro.ioutil.atomic_write_text` / ``atomic_write_bytes`` (temp
+file + fsync + atomic rename).  Inside ``repro/corpus/`` and
+``repro/scenario/sinks.py`` this rule flags the bypasses:
+
+* ``open(path, "w"/"a"/"x"/...)`` — a direct truncating/creating write
+  leaves a torn file if the process dies mid-write;
+* ``Path.write_text`` / ``Path.write_bytes`` — same hazard, pathlib
+  spelling.
+
+Reads (``"r"``, ``"rb"``, ``"r+b"``) are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_SCOPES = ("repro/corpus/", "repro/scenario/sinks.py")
+_WRITE_MODE_CHARS = set("wax")
+_PATHLIB_WRITERS = {"write_text", "write_bytes"}
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The mode string of an ``open()`` call when it writes, else None."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if _WRITE_MODE_CHARS & set(mode.value):
+            return mode.value
+        return None
+    return None  # dynamic mode: give the benefit of the doubt
+
+
+@register
+class AtomicWriteRule(Rule):
+    rule_id = "atomic-write"
+    summary = "corpus/sink writes must go through repro.ioutil"
+    description = (
+        "Inside repro/corpus/ and repro/scenario/sinks.py, direct "
+        "open(..., 'w')/'a'/'x' and Path.write_text/write_bytes bypass "
+        "the crash-safety contract; use ioutil.atomic_write_text/bytes."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not any(scope in ctx.canonical for scope in _SCOPES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _write_mode(node)
+                if mode is not None:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"direct open(..., {mode!r}) bypasses the "
+                        "crash-safe write contract; use "
+                        "repro.ioutil.atomic_write_text/_bytes",
+                    )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _PATHLIB_WRITERS
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f".{func.attr}() bypasses the crash-safe write "
+                    "contract; use repro.ioutil.atomic_write_text/_bytes",
+                )

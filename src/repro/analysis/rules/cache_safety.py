@@ -1,0 +1,193 @@
+"""Cache safety: memoized functions must not traffic in mutable state.
+
+The engine's speed rests on value-keyed memoization (``lru_cache`` over
+frozen dataclasses in ``wafer.diecache``, ``core.module``,
+``yieldmodel.models``).  That contract breaks silently when a cached
+function
+
+* takes a mutable default argument (the default is hashed once and
+  shared — and mutating it poisons every later hit),
+* declares a mutable parameter type (``list``/``dict``/``set`` — an
+  unhashable key at best, an aliasing bug at worst),
+* returns a freshly built mutable container (every caller receives the
+  *same* object; one caller's mutation corrupts all later cache hits),
+* mutates one of its parameters (the object that just served as part of
+  the cache key no longer equals the key it was stored under).
+
+All four are mechanical AST checks, applied to any function decorated
+with ``functools.lru_cache`` / ``functools.cache`` (bare or called).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_MEMO_DECORATORS = {"lru_cache", "cache"}
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "sorted", "defaultdict"}
+_MUTABLE_ANNOTATIONS = {
+    "list", "dict", "set", "bytearray",
+    "List", "Dict", "Set", "MutableMapping", "MutableSequence", "MutableSet",
+}
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "clear", "remove", "discard", "setdefault", "sort", "reverse",
+}
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        return _decorator_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def is_memoized(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        _decorator_name(decorator) in _MEMO_DECORATORS
+        for decorator in func.decorator_list
+    )
+
+
+def _is_mutable_literal(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _annotation_base(node: ast.expr | None) -> str:
+    if isinstance(node, ast.Subscript):
+        return _annotation_base(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the base before any subscript.
+        return node.value.split("[", 1)[0].strip()
+    return ""
+
+
+def _own_statements(func: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Statements of ``func`` excluding nested function/class bodies."""
+    pending: list[ast.stmt] = list(func.body)
+    while pending:
+        stmt = pending.pop(0)
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            if isinstance(child, ast.stmt):
+                pending.append(child)
+            else:
+                pending.extend(
+                    grandchild for grandchild in ast.walk(child)
+                    if isinstance(grandchild, ast.stmt)
+                )
+
+
+@register
+class CacheSafetyRule(Rule):
+    rule_id = "cache-safety"
+    summary = "memoized functions must not accept, return or mutate mutables"
+    description = (
+        "Functions under lru_cache/cache must take hashable value "
+        "arguments, return shared-safe (immutable) objects, and never "
+        "mutate a parameter that served as part of the cache key."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not is_memoized(node):
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[Finding]:
+        args = func.args
+        positional = args.posonlyargs + args.args
+        defaults: list[tuple[ast.arg, ast.expr | None]] = list(
+            zip(positional[len(positional) - len(args.defaults):],
+                args.defaults)
+        ) + list(zip(args.kwonlyargs, args.kw_defaults))
+        for arg, default in defaults:
+            if _is_mutable_literal(default):
+                yield ctx.finding(
+                    self.rule_id,
+                    default,
+                    f"memoized function {func.name!r} has a mutable "
+                    f"default for {arg.arg!r}; the shared default "
+                    "poisons the cache key",
+                )
+        for arg in positional + args.kwonlyargs:
+            if _annotation_base(arg.annotation) in _MUTABLE_ANNOTATIONS:
+                yield ctx.finding(
+                    self.rule_id,
+                    arg,
+                    f"memoized function {func.name!r} takes mutable "
+                    f"argument {arg.arg!r}; cache keys must be "
+                    "immutable values (use a tuple/frozen dataclass)",
+                )
+        param_names = {
+            arg.arg for arg in positional + args.kwonlyargs
+        } - {"self", "cls"}
+        for stmt in _own_statements(func):
+            if isinstance(stmt, ast.Return) and _is_mutable_literal(stmt.value):
+                yield ctx.finding(
+                    self.rule_id,
+                    stmt,
+                    f"memoized function {func.name!r} returns a freshly "
+                    "built mutable container; every cache hit aliases "
+                    "one shared object (return a tuple or copy)",
+                )
+            yield from self._check_param_mutation(ctx, func, stmt, param_names)
+
+    def _check_param_mutation(self, ctx, func, stmt, param_names):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _MUTATOR_METHODS
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in param_names
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    stmt,
+                    f"memoized function {func.name!r} mutates parameter "
+                    f"{call.func.value.id!r} (.{call.func.attr}); the "
+                    "object serving as a cache key must stay unchanged",
+                )
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in param_names
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    stmt,
+                    f"memoized function {func.name!r} assigns into "
+                    f"parameter {target.value.id!r}; the object serving "
+                    "as a cache key must stay unchanged",
+                )

@@ -1,0 +1,102 @@
+"""Numpy-optional discipline: numpy is an accelerator, never a dependency.
+
+The no-numpy CI job runs the tier-1 suite, the smoke bench and example
+scenarios with numpy uninstalled, proving every fast path has a scalar
+fallback.  That only holds if no module under ``repro`` imports numpy
+unconditionally at import time.  The established idiom::
+
+    try:  # numpy accelerates the draw loop; the model never requires it
+        import numpy as _np
+    except ImportError:
+        _np = None
+
+This rule flags any module-scope ``import numpy`` / ``from numpy
+import ...`` outside a ``try`` whose handlers catch ``ImportError`` (or
+``ModuleNotFoundError``, or everything).  Imports inside functions are
+fine — they only execute when numpy-dependent behavior is requested.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception"}
+
+
+def _handler_catches_import_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except
+        return True
+    names = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _GUARD_EXCEPTIONS:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in _GUARD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _is_numpy_import(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "numpy" or alias.name.startswith("numpy.")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        return node.level == 0 and (
+            module == "numpy" or module.startswith("numpy.")
+        )
+    return False
+
+
+@register
+class NumpyGuardRule(Rule):
+    rule_id = "numpy-guard"
+    summary = "module-scope numpy imports must be try/except guarded"
+    description = (
+        "Every module the no-numpy CI job exercises must keep numpy "
+        "optional: top-level numpy imports belong inside the "
+        "try/except-ImportError guard idiom with a scalar fallback."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.canonical.startswith("repro/"):
+            return
+        yield from self._scan(ctx, ctx.tree.body, guarded=False)
+
+    def _scan(
+        self, ctx: FileContext, body: list[ast.stmt], guarded: bool
+    ) -> Iterable[Finding]:
+        for node in body:
+            if _is_numpy_import(node) and not guarded:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "unguarded module-scope numpy import; wrap it in the "
+                    "try/except-ImportError idiom (numpy is an optional "
+                    "accelerator — see the no-numpy CI job)",
+                )
+            elif isinstance(node, ast.Try):
+                caught = any(
+                    _handler_catches_import_error(handler)
+                    for handler in node.handlers
+                )
+                yield from self._scan(ctx, node.body, guarded or caught)
+                for handler in node.handlers:
+                    yield from self._scan(ctx, handler.body, guarded)
+                yield from self._scan(ctx, node.orelse, guarded)
+                yield from self._scan(ctx, node.finalbody, guarded)
+            elif isinstance(node, (ast.If, ast.With)):
+                for field in ("body", "orelse"):
+                    yield from self._scan(
+                        ctx, getattr(node, field, []) or [], guarded
+                    )
+            # Function and class bodies import lazily: not module scope.

@@ -1,0 +1,63 @@
+"""Error taxonomy: scenario/corpus layers raise contextual errors.
+
+PR-6 introduced the taxonomy (``repro.errors``): scenario execution
+failures surface as :class:`StudyError` carrying scenario/study/kind
+context, corpus failures as :class:`CorpusError` subclasses, and
+configuration problems as :class:`ConfigError` — so corpus tooling and
+humans can attribute failures without parsing tracebacks, and
+``except ChipletActuaryError`` cleanly separates model errors from
+programming errors.
+
+Inside ``repro/scenario/`` and ``repro/corpus/`` this rule flags
+``raise ValueError(...)`` / ``raise KeyError(...)`` of the bare
+builtins (including bare re-raise forms).  Raising taxonomy classes
+that *subclass* the builtins (``InvalidParameterError``,
+``ConfigError``, ``StudyError``...) is the established idiom and is not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import FileContext, Finding
+from repro.analysis.registry import Rule, register
+
+_SCOPES = ("repro/scenario/", "repro/corpus/")
+_BARE_BUILTINS = {"ValueError", "KeyError"}
+
+
+def _raised_name(node: ast.expr | None) -> str:
+    if isinstance(node, ast.Call):
+        return _raised_name(node.func)
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    rule_id = "error-taxonomy"
+    summary = "scenario/corpus raise contextual taxonomy errors"
+    description = (
+        "Inside repro/scenario/ and repro/corpus/, bare "
+        "ValueError/KeyError raises break the PR-6 error contract; "
+        "raise StudyError/CorpusError/ConfigError with context instead."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not any(scope in ctx.canonical for scope in _SCOPES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node.exc)
+            if name in _BARE_BUILTINS:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"bare {name} raised in the scenario/corpus layer; "
+                    "raise a contextual repro.errors class "
+                    "(StudyError/CorpusError/ConfigError) instead",
+                )

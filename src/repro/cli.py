@@ -14,11 +14,16 @@ Subcommands::
     portfolio FILE            report an externally-defined portfolio
     corpus run FILE           run a scenario corpus against a result store
     corpus status FILE        per-study state of a corpus run's manifest
+    lint [PATH ...]           run the contract linter (docs/ANALYSIS.md)
 
 ``corpus run`` exit codes: 0 = every unit completed, 3 = partial
 failure (failed units recorded in the manifest), 4 = store corruption
 was detected (entries quarantined and recomputed), 2 = usage/model
 error before the run started.
+
+``lint`` exit codes: 0 = clean (every finding baselined or
+suppressed), 1 = active findings reported, 2 = usage/model error
+before analysis ran (unknown path, unparseable file, bad baseline).
 """
 
 from __future__ import annotations
@@ -551,6 +556,31 @@ def _corpus_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_paths, write_baseline
+
+    report = analyze_paths(
+        args.paths,
+        baseline_path=None if args.write_baseline else args.baseline,
+    )
+    if args.write_baseline:
+        if not args.baseline:
+            raise ChipletActuaryError(
+                "--write-baseline needs --baseline FILE to write to"
+            )
+        write_baseline(args.baseline, report.findings)
+        print(
+            f"baseline written: {args.baseline} "
+            f"({len(report.findings)} finding(s) grandfathered)"
+        )
+        return 0
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def _cmd_portfolio(args: argparse.Namespace) -> int:
     from repro.config import load_portfolio
 
@@ -724,6 +754,30 @@ def build_parser() -> argparse.ArgumentParser:
     portfolio = sub.add_parser("portfolio", help="report a portfolio JSON")
     portfolio.add_argument("file", help="path to a portfolio JSON document")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the contract linter over source trees "
+        "(rules in docs/ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON of grandfathered findings "
+        "(filtered from the report; see docs/ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings into --baseline FILE and "
+        "exit 0 (grandfathering workflow)",
+    )
+
     corpus = sub.add_parser(
         "corpus",
         help="run or inspect a scenario corpus against a result store",
@@ -792,6 +846,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "portfolio": _cmd_portfolio,
     "corpus": _cmd_corpus,
+    "lint": _cmd_lint,
 }
 
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.errors import CorpusError
+from repro.ioutil import atomic_write_text
 
 FAULTS_ENV = "REPRO_CORPUS_FAULTS"
 FAULT_STATE_ENV = "REPRO_CORPUS_FAULT_STATE"
@@ -131,8 +132,7 @@ class FaultPlan:
                 fired = 0
             if fired >= rule.times:
                 return False
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(str(fired + 1))
+            atomic_write_text(path, str(fired + 1))
             return True
         fired = self._local_counts.get(key, 0)
         if fired >= rule.times:

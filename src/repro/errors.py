@@ -113,6 +113,11 @@ class StoreCorruptionError(CorpusError):
         super().__init__(f"corrupt store entry {path}: {reason}")
 
 
+class AnalysisError(ChipletActuaryError):
+    """Raised when the contract linter cannot complete an analysis run
+    (unreadable path, unparseable file, malformed baseline)."""
+
+
 class RegistryError(ChipletActuaryError, KeyError):
     """Raised when a registry lookup or registration fails."""
 

@@ -1,0 +1,186 @@
+"""CLI + baseline workflow tests for ``repro lint``.
+
+Covers the documented exit-code contract (0 clean / 1 active findings
+/ 2 usage error), the JSON reporter shape, the write-then-apply
+baseline round trip, and the whole-repo smoke the ISSUE-8 acceptance
+criteria require: ``repro lint src`` (and src+tools+benchmarks with
+the committed baseline) exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rule_ids, analyze_paths, load_baseline
+from repro.cli import main
+from repro.errors import AnalysisError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+BAD_CORPUS_SOURCE = (
+    "def save(path, payload):\n"
+    "    with open(path, 'w', encoding='utf-8') as handle:\n"
+    "        handle.write(payload)\n"
+)
+
+
+@pytest.fixture()
+def bad_tree(tmp_path: Path) -> Path:
+    """A throwaway tree whose one module violates atomic-write."""
+    module = tmp_path / "src" / "repro" / "corpus" / "bad.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(BAD_CORPUS_SOURCE, encoding="utf-8")
+    return tmp_path / "src"
+
+
+def test_lint_reports_violation_and_exits_1(bad_tree, capsys):
+    assert main(["lint", str(bad_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "atomic-write" in out
+    assert "bad.py" in out
+
+
+def test_lint_clean_tree_exits_0(tmp_path, capsys):
+    module = tmp_path / "src" / "repro" / "corpus" / "ok.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(
+        "from repro.ioutil import atomic_write_text\n", encoding="utf-8"
+    )
+    assert main(["lint", str(tmp_path / "src")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_json_format(bad_tree, capsys):
+    assert main(["lint", str(bad_tree), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == list(all_rule_ids())
+    assert payload["files"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "atomic-write"
+    assert finding["path"].endswith("repro/corpus/bad.py")
+    assert finding["line"] == 2
+    assert payload["baselined"] == []
+
+
+def test_lint_missing_path_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "no-such-dir")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_lint_unparseable_file_is_usage_error(tmp_path, capsys):
+    broken = tmp_path / "src" / "repro" / "core" / "broken.py"
+    broken.parent.mkdir(parents=True)
+    broken.write_text("def f(:\n", encoding="utf-8")
+    assert main(["lint", str(tmp_path / "src")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_write_baseline_requires_baseline_flag(bad_tree, capsys):
+    assert main(["lint", str(bad_tree), "--write-baseline"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_baseline_round_trip(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+
+    # Grandfather the existing violation...
+    assert main(
+        ["lint", str(bad_tree), "--baseline", str(baseline),
+         "--write-baseline"]
+    ) == 0
+    assert "1 finding(s) grandfathered" in capsys.readouterr().out
+    assert len(load_baseline(str(baseline))) == 1
+
+    # ...so the next run is clean, with the finding counted as baselined.
+    assert main(["lint", str(bad_tree), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # A *new* violation is not covered by the old baseline.
+    extra = bad_tree / "repro" / "corpus" / "worse.py"
+    extra.write_text("def f(unit):\n    raise KeyError(unit)\n",
+                     encoding="utf-8")
+    assert main(["lint", str(bad_tree), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "error-taxonomy" in out
+    assert "atomic-write" not in out
+
+
+def test_baseline_survives_line_shuffles(bad_tree, tmp_path):
+    # Fingerprints are line-free: prepending code must not resurrect a
+    # baselined finding.
+    baseline = tmp_path / "baseline.json"
+    main(["lint", str(bad_tree), "--baseline", str(baseline),
+          "--write-baseline"])
+    module = bad_tree / "repro" / "corpus" / "bad.py"
+    module.write_text("import json\n\n\n" + BAD_CORPUS_SOURCE,
+                      encoding="utf-8")
+    assert main(["lint", str(bad_tree), "--baseline", str(baseline)]) == 0
+
+
+def test_malformed_baseline_is_usage_error(bad_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json", encoding="utf-8")
+    assert main(
+        ["lint", str(bad_tree), "--baseline", str(baseline)]
+    ) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_collect_skips_caches_and_hidden_dirs(tmp_path):
+    src = tmp_path / "src"
+    (src / "repro" / "corpus" / "__pycache__").mkdir(parents=True)
+    (src / "repro" / "corpus" / "__pycache__" / "bad.py").write_text(
+        BAD_CORPUS_SOURCE, encoding="utf-8"
+    )
+    (src / "repro" / "corpus" / "ok.py").write_text("x = 1\n",
+                                                    encoding="utf-8")
+    report = analyze_paths([str(src)])
+    assert report.findings == ()
+    assert len(report.files) == 1
+
+
+def test_analyze_paths_rejects_bad_baseline_path(tmp_path):
+    module = tmp_path / "m.py"
+    module.write_text("x = 1\n", encoding="utf-8")
+    with pytest.raises(AnalysisError):
+        analyze_paths([str(module)],
+                      baseline_path=str(tmp_path / "missing.json"))
+
+
+# ---------------------------------------------------------------------------
+# whole-repo smoke (ISSUE-8 acceptance criterion)
+# ---------------------------------------------------------------------------
+
+def test_repo_src_tree_is_lint_clean(capsys):
+    assert main(["lint", str(REPO_ROOT / "src")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_repo_wide_lint_matches_ci_invocation(capsys):
+    # The exact surface CI gates on, against the committed (empty)
+    # baseline.
+    assert main(
+        ["lint", str(REPO_ROOT / "src"), str(REPO_ROOT / "tools"),
+         str(REPO_ROOT / "benchmarks"),
+         "--baseline", str(REPO_ROOT / "analysis-baseline.json")]
+    ) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_committed_baseline_is_empty():
+    assert load_baseline(str(REPO_ROOT / "analysis-baseline.json")) \
+        == frozenset()
+
+
+def test_all_six_rule_families_registered():
+    assert list(all_rule_ids()) == [
+        "atomic-write",
+        "cache-safety",
+        "error-taxonomy",
+        "layering",
+        "numpy-guard",
+        "parity-determinism",
+    ]

@@ -120,6 +120,8 @@ def check_readme_snippets() -> list[str]:
                     arguments = [
                         os.path.join(REPO_ROOT, token)
                         if token.startswith(("examples/", "benchmarks/"))
+                        or token in ("src", "tools", "benchmarks",
+                                     "analysis-baseline.json")
                         else token
                         for token in command.split()
                         if token != "PYTHONPATH=src"
@@ -129,12 +131,44 @@ def check_readme_snippets() -> list[str]:
     return failures
 
 
+#: Matches a docs/ANALYSIS.md rule-table row: ``| `rule-id` | ...``.
+_RULE_ROW = re.compile(r"^\|\s*`([a-z0-9-]+)`\s*\|", re.MULTILINE)
+
+
+def check_analysis_rule_table() -> list[str]:
+    """The docs/ANALYSIS.md rule table must match the live registry."""
+    if SRC not in sys.path:
+        sys.path.insert(0, SRC)
+    from repro.analysis import all_rule_ids
+
+    doc = os.path.join(REPO_ROOT, "docs", "ANALYSIS.md")
+    with open(doc, "r", encoding="utf-8") as handle:
+        documented = set(_RULE_ROW.findall(handle.read()))
+    registered = set(all_rule_ids())
+    failures = []
+    if missing := sorted(registered - documented):
+        failures.append(
+            f"docs/ANALYSIS.md: registered rules missing from the "
+            f"rule table: {missing}"
+        )
+    if stale := sorted(documented - registered):
+        failures.append(
+            f"docs/ANALYSIS.md: rule table documents unregistered "
+            f"rules: {stale}"
+        )
+    if not failures:
+        print(f"  rule table matches registry ({len(registered)} rules)")
+    return failures
+
+
 def main() -> int:
     failures = []
     print("checking example scenarios ...")
     failures += check_example_scenarios()
     print("checking README snippets ...")
     failures += check_readme_snippets()
+    print("checking docs/ANALYSIS.md rule table ...")
+    failures += check_analysis_rule_table()
     if failures:
         print(f"\n{len(failures)} docs check(s) FAILED:", file=sys.stderr)
         for failure in failures:

@@ -26,10 +26,11 @@ import sys
 import tempfile
 import time
 
+# Import-time side effects are limited to these constants so the module
+# stays traversable by tooling (``repro lint``, future import-based
+# checks); subprocesses get SRC on PYTHONPATH via ``run_cli``.
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
-if SRC not in sys.path:
-    sys.path.insert(0, SRC)
 
 CORPUS = {
     "corpus": "smoke",
