@@ -323,6 +323,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         seed=args.seed,
         method=args.method,
         die_cost_fn=_die_cost_override(args, "montecarlo"),
+        precision=args.precision,
     )
     table = Table(
         ["statistic", "RE USD/unit"],
@@ -392,6 +393,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         space,
         die_cost_fn=_die_cost_override(args, "search"),
         context="search",
+        precision=args.precision,
     )
     table = Table(
         ["design", "set", "total/unit", "RE/unit", "NRE total",
@@ -678,6 +680,14 @@ def build_parser() -> argparse.ArgumentParser:
         "oracle (identical samples, also with --yield-model / "
         "--wafer-geometry)",
     )
+    montecarlo.add_argument(
+        "--precision",
+        choices=["exact", "fast", "fast32"],
+        default="exact",
+        help="evaluation tier for the closed-form path: exact "
+        "(bit-parity, default), fast (reassociated float64) or fast32 "
+        "(float32 batches); see PERFORMANCE.md",
+    )
     _add_yield_arguments(montecarlo)
 
     search = sub.add_parser(
@@ -720,6 +730,14 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--test-cost", action="store_true",
         help="include tester economics (default test-cost model)",
+    )
+    search.add_argument(
+        "--precision",
+        choices=["exact", "fast", "fast32"],
+        default="exact",
+        help="evaluation tier: exact (bit-parity, default), fast "
+        "(reassociated float64) or fast32 (float32 batches); see "
+        "PERFORMANCE.md",
     )
     _add_yield_arguments(search)
 

@@ -122,6 +122,15 @@ class CostEngine:
             creates and tears down its own executor — the right setting
             for the long-lived shared :func:`default_engine`, which no
             caller owns.
+        precision: ``"exact"`` (default — every path bit-identical to
+            the naive oracles), ``"fast"`` or ``"fast32"`` (the
+            relaxed-parity tier of ``repro.engine.fasttier``: SIMD
+            transcendentals and reassociated reductions on the batch
+            hot paths, bounded relative error instead of bit equality;
+            degrades gracefully to the exact scalar paths when numpy
+            is absent).  Currently consumed by :meth:`monte_carlo`;
+            the single-system and closed-form partition paths always
+            evaluate exactly.
     """
 
     def __init__(
@@ -129,7 +138,10 @@ class CostEngine:
         workers: int | None = None,
         backend: str = "thread",
         persistent_pools: bool = True,
+        precision: str = "exact",
     ):
+        from repro.engine.fasttier import validate_precision
+
         if workers is not None and workers < 1:
             raise InvalidParameterError(f"workers must be >= 1, got {workers}")
         if backend not in _BACKENDS:
@@ -139,6 +151,7 @@ class CostEngine:
         self.workers = workers
         self.backend = backend
         self.persistent_pools = persistent_pools
+        self.precision = validate_precision(precision)
         # Identity-keyed hot caches.  Keys use id(...) to avoid hashing
         # multi-field dataclasses on every lookup; each value keeps a
         # strong reference to the keyed object, so a key can never be
@@ -245,6 +258,7 @@ class CostEngine:
         sigma: float = 0.15,
         seed: int = 0,
         die_cost_fn: Callable | None = None,
+        precision: str | None = None,
     ) -> list[float]:
         """Closed-form Monte-Carlo RE samples under defect uncertainty.
 
@@ -255,8 +269,10 @@ class CostEngine:
         object-rebuilding oracle
         (:func:`repro.explore.montecarlo.monte_carlo_cost_naive`).
         ``die_cost_fn`` carries registry-named yield-model /
-        wafer-geometry overrides into every draw.  Distribution
-        statistics and method selection live one layer up in
+        wafer-geometry overrides into every draw.  ``precision``
+        overrides the engine's precision tier for this call (``None``:
+        the engine default).  Distribution statistics and method
+        selection live one layer up in
         :func:`repro.explore.montecarlo.monte_carlo_cost`.
         """
         from repro.engine.fastmc import sample_re_costs
@@ -267,6 +283,7 @@ class CostEngine:
             sigma=sigma,
             seed=seed,
             die_cost_fn=die_cost_fn,
+            precision=self.precision if precision is None else precision,
         )
 
     # ------------------------------------------------------------------

@@ -481,6 +481,7 @@ def _run_montecarlo(
         seed=study.seed,
         method=study.method,
         die_cost_fn=runner._die_cost_override(registries, study),
+        precision=study.precision,
     )
     table = Table(
         ["statistic", "RE USD/unit"],
@@ -547,6 +548,7 @@ def _run_search(
         registries=registries,
         die_cost_fn=runner._die_cost_override(registries, study),
         context=study.name,
+        precision=study.precision,
     )
     table = Table(
         ["design", "set", "total/unit", "RE/unit", "NRE total",
@@ -763,7 +765,8 @@ def _run_reuse(
         # every scale solved at once over the dense matrices.
         solves = {
             variant: engine.volume_solve(
-                portfolio, study.volume_sweep, die_cost_fn=die_cost_fn
+                portfolio, study.volume_sweep, die_cost_fn=die_cost_fn,
+                precision=study.precision,
             )
             for variant, portfolio in portfolios.items()
         }

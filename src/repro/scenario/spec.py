@@ -37,6 +37,21 @@ FIGURE_IDS = (2, 4, 5, 6, 8, 9, 10)
 #: Reuse schemes a ``reuse`` study may reference.
 REUSE_SCHEMES = ("scms", "ocme", "fsmc")
 
+#: Engine precision tiers a study may request (PERFORMANCE.md
+#: "Precision tiers"); mirrors ``repro.engine.fasttier.PRECISIONS``
+#: without importing the engine at spec-parse time.
+PRECISIONS = ("exact", "fast", "fast32")
+
+
+def _check_precision(study: object) -> None:
+    """Validate a study's ``precision`` field with study context."""
+    precision = getattr(study, "precision")
+    if precision not in PRECISIONS:
+        raise ConfigError(
+            f"{study.kind} study {getattr(study, 'name', '')!r}: precision "
+            f"must be one of {PRECISIONS}, got {precision!r}"
+        )
+
 #: kind -> study dataclass.
 STUDY_TYPES: Registry[type] = Registry(kind="study type")
 
@@ -158,8 +173,12 @@ class MonteCarloStudy:
     sigma: float = 0.15
     seed: int = 0
     method: str = "auto"
+    precision: str = "exact"
     yield_model: str = ""
     wafer_geometry: str = ""
+
+    def __post_init__(self) -> None:
+        _check_precision(self)
 
 
 @register_study_type
@@ -205,10 +224,12 @@ class SearchStudy:
     include_soc: bool = True
     test_cost: Mapping[str, Any] | None = None
     batch_size: int = 4096
+    precision: str = "exact"
     yield_model: str = ""
     wafer_geometry: str = ""
 
     def __post_init__(self) -> None:
+        _check_precision(self)
         self.space()  # validate the axes eagerly, with study context
 
     def space(self):
@@ -277,10 +298,12 @@ class ReuseStudy:
     technology: str = "mcm"
     params: Mapping[str, Any] = field(default_factory=dict)
     volume_sweep: tuple[float, ...] = ()
+    precision: str = "exact"
     yield_model: str = ""
     wafer_geometry: str = ""
 
     def __post_init__(self) -> None:
+        _check_precision(self)
         if self.scheme not in REUSE_SCHEMES:
             raise ConfigError(
                 f"reuse study {self.name!r}: scheme must be one of "

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.config import ConfigRegistries
+from repro.engine import fasttier
 from repro.engine.packaging_affine import linearize_packaging
 from repro.errors import ConfigError, InvalidParameterError, RegistryError
 from repro.packaging.base import IntegrationTech
@@ -98,10 +99,17 @@ class SpaceEvaluator:
         registries: ConfigRegistries | None = None,
         die_cost_fn: DieCostFn | None = None,
         context: str = "search",
+        precision: str = "exact",
     ):
         registries = registries if registries is not None else ConfigRegistries()
         self.space = space
         self.die_cost_fn = die_cost_fn
+        #: ``"exact"`` keeps every column bit-identical to the oracle;
+        #: ``"fast"`` / ``"fast32"`` route the die-yield transcendental
+        #: and the per-chip accumulations through the relaxed-parity
+        #: kernels of ``repro.engine.fasttier`` (bounded relative
+        #: error; falls back to the exact scalar path without numpy).
+        self.precision = fasttier.validate_precision(precision)
         self.test_model = space.test_model()
         try:
             self.nodes = {
@@ -181,21 +189,24 @@ class SpaceEvaluator:
             share = chip_areas
         chiplet = not soc and fraction > 0.0
         if self.die_cost_fn is None:
-            die = _die_columns_default(node, chip_areas)
+            die = _die_columns_default(node, chip_areas, self.precision)
             die_default = die
         else:
             die = _die_columns_override(node, chip_areas, self.die_cost_fn)
             die_default = (
-                _die_columns_default(node, chip_areas)
+                _die_columns_default(node, chip_areas, self.precision)
                 if self.test_model is not None
                 else None
             )
         raw_chips, chip_defects, kgd, silicon = _accumulate(
-            count, die.raw, die.defect, die.total, chip_areas
+            count, die.raw, die.defect, die.total, chip_areas,
+            precision=self.precision,
         )
         module_unit = _scale(share, node.km_per_mm2)
         chip_unit = _axpb(chip_areas, node.kc_per_mm2, node.fixed_chip_nre)
-        modules_nre, chips_nre = _accumulate(count, module_unit, chip_unit)
+        modules_nre, chips_nre = _accumulate(
+            count, module_unit, chip_unit, precision=self.precision
+        )
         d2d_total = node.d2d_interface_nre if chiplet else 0
         factor = 1.0 / space.quantity
         d2d_amortized = d2d_total * factor
@@ -260,10 +271,12 @@ class SpaceEvaluator:
             seconds = _scale(seconds, model.kgd_multiplier)
         sort_unit = _scale(seconds, per_second)
         per_good = _div(sort_unit, die_default.die_yield)
-        (sort_total,) = _accumulate(count, per_good)
+        (sort_total,) = _accumulate(
+            count, per_good, precision=self.precision
+        )
         raw_default, defect_default, kgd_default, _unused = _accumulate(
             count, die_default.raw, die_default.defect, die_default.total,
-            chip_areas,
+            chip_areas, precision=self.precision,
         )
         chips_total_default = _add(raw_default, defect_default)
         return sort_total, chips_total_default, kgd_default
@@ -282,10 +295,14 @@ class _DieColumns:
     die_yield: Sequence[float]
 
 
-def _die_columns_default(node: ProcessNode, chip_areas) -> _DieColumns:
+def _die_columns_default(
+    node: ProcessNode, chip_areas, precision: str = "exact"
+) -> _DieColumns:
     """Closed form of ``die_cost`` under the node-default geometry and
     negative-binomial model (the exact expressions, in the exact order,
-    of ``WaferGeometry.dies_per_wafer`` and ``NegativeBinomialYield``)."""
+    of ``WaferGeometry.dies_per_wafer`` and ``NegativeBinomialYield``).
+    ``precision != "exact"`` swaps the per-element libm ``pow`` for the
+    fast tier's SIMD ``power`` (bounded relative error)."""
     usable = node.wafer_diameter - 2.0 * 0.0
     gross_factor = math.pi * (usable / 2.0) ** 2
     edge_factor = math.pi * usable
@@ -300,10 +317,14 @@ def _die_columns_default(node: ProcessNode, chip_areas) -> _DieColumns:
             _die_too_large(float(table[small][0]), node)
         defects = (node.defect_density * table) / 100.0
         bases = 1.0 + defects / node.cluster_param
-        # libm pow per element, never numpy's SIMD power (last-ulp parity)
-        die_yield = _np.array(
-            [base ** exponent for base in bases.tolist()], dtype=float
-        )
+        if precision != "exact":
+            die_yield = fasttier.power_column(bases, exponent, precision)
+        else:
+            # libm pow per element, never numpy's SIMD power
+            # (last-ulp parity)
+            die_yield = _np.array(
+                [base ** exponent for base in bases.tolist()], dtype=float
+            )
         raw = node.wafer_price / dies
         total = raw / die_yield
         return _DieColumns(raw, total - raw, total, die_yield)
@@ -458,11 +479,14 @@ def _soc_chip_areas(module_areas: list):
     return list(module_areas)
 
 
-def _accumulate(count: int, *columns):
+def _accumulate(count: int, *columns, precision: str = "exact"):
     """``count`` repeated additions of each column from zero — the
     per-unique-chip accumulation loops of ``compute_re_cost`` /
     ``compute_system_nre`` (count instances of x accumulate as n
-    additions, and ``x * 1 == x`` exactly)."""
+    additions, and ``x * 1 == x`` exactly).  The fast tier collapses
+    the fold to one reassociated multiply."""
+    if _np is not None and precision != "exact":
+        return fasttier.scaled_accumulate(count, *columns)
     if _np is not None:
         totals = [_np.zeros(len(column)) for column in columns]
         for _ in range(count):

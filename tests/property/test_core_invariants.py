@@ -1,15 +1,22 @@
-"""Property-based tests (hypothesis) on core invariants."""
+"""Core model invariants (migrated from ``tests/test_properties.py``).
+
+The original ad-hoc inline strategies now come from the shared
+``strategies`` module; the invariant families (yield bounds and
+monotonicity, wafer geometry, area scaling, cost-breakdown algebra,
+assembly-flow ordering, FSMC combinatorics, model-level conservation
+laws) are unchanged — no lost coverage.
+"""
 
 import math
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.breakdown import NRECost, RECost
 from repro.core.module import Module
 from repro.core.re_cost import compute_re_cost
-from repro.core.system import multichip, soc
+from repro.core.system import multichip
 from repro.core.system import chiplet as make_chiplet
 from repro.d2d.overhead import FractionOverhead
 from repro.explore.partition import partition_monolith
@@ -19,17 +26,13 @@ from repro.packaging.assembly import (
     direct_attach_cost,
 )
 from repro.packaging.mcm import mcm
-from repro.packaging.soc import soc_package
 from repro.process.catalog import get_node
 from repro.process.scaling import area_scale_factor
 from repro.reuse.fsmc import collocation_count, enumerate_collocations
 from repro.reuse.portfolio import Portfolio
 from repro.wafer.geometry import WaferGeometry
 from repro.yieldmodel.models import NegativeBinomialYield
-
-densities = st.floats(min_value=0.0, max_value=1.0)
-clusters = st.floats(min_value=0.1, max_value=100.0)
-areas = st.floats(min_value=1.0, max_value=2000.0)
+from strategies import areas, catalog_node_names, clusters, densities
 
 
 class TestYieldProperties:
@@ -191,24 +194,23 @@ class TestFSMCProperties:
 
 
 class TestModelProperties:
-    node_names = st.sampled_from(["14nm", "7nm", "5nm"])
-
-    @settings(max_examples=25, deadline=None)
-    @given(area=st.floats(min_value=50.0, max_value=900.0), node=node_names)
+    @settings(max_examples=25)
+    @given(area=st.floats(min_value=50.0, max_value=900.0),
+           node=catalog_node_names)
     def test_re_breakdown_sums(self, area, node):
         system = partition_monolith(area, get_node(node), 2, mcm())
         re = compute_re_cost(system)
         assert re.total == pytest.approx(sum(re.as_dict().values()))
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(area=st.floats(min_value=50.0, max_value=900.0),
-           node=node_names,
+           node=catalog_node_names,
            count=st.integers(min_value=2, max_value=6))
     def test_partition_conserves_module_area(self, area, node, count):
         system = partition_monolith(area, get_node(node), count, mcm())
         assert system.module_area == pytest.approx(area)
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(area=st.floats(min_value=50.0, max_value=500.0),
            quantity=st.floats(min_value=1e3, max_value=1e8))
     def test_portfolio_conserves_nre(self, area, quantity):
@@ -227,7 +229,7 @@ class TestModelProperties:
             portfolio.total_nre().total, rel=1e-9
         )
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(area=st.floats(min_value=100.0, max_value=900.0),
            fraction=st.floats(min_value=0.0, max_value=0.4))
     def test_d2d_overhead_never_reduces_cost(self, area, fraction):

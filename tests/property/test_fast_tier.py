@@ -1,0 +1,156 @@
+"""Bounded-relative-error properties gating ``precision="fast"``.
+
+The fast tier trades the bit-parity contract for reassociated numpy
+reductions and (``fast32``) float32 column batches; its correctness is
+*defined* by the bounds these properties enforce on generated inputs
+(200 examples per path, regardless of the Hypothesis profile):
+
+* ``fast``   within 1e-9 relative of the exact tier everywhere;
+* ``fast32`` within 1e-3 relative (float32 has ~7 significant digits);
+* search frontier membership preserved up to tolerance ties;
+* without numpy, a fast ``precision`` degrades to the exact scalar
+  path instead of erroring (bit-identical results).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from checks import (
+    assert_bit_equal,
+    assert_frontier_preserved,
+    assert_sequences_close,
+    assert_sequences_equal,
+)
+from repro.engine import fastmc, fastportfolio, fasttier
+from repro.engine.costengine import CostEngine
+from repro.engine.fastmc import sample_re_costs
+from repro.engine.fastportfolio import PortfolioEngine
+from repro.errors import InvalidParameterError
+from repro.explore.montecarlo import monte_carlo_cost
+from repro.search.engine import run_search
+from strategies import design_spaces, portfolios, systems
+
+#: (precision, relative-error tolerance, frontier-tie epsilon).
+TIERS = (("fast", 1e-9, 1e-6), ("fast32", 1e-3, 1e-3))
+
+_SEARCH_METRICS = ("re", "nre", "total", "silicon_area", "footprint")
+
+
+@settings(max_examples=200)
+@given(system=systems(), draws=st.integers(min_value=1, max_value=6),
+       sigma=st.floats(min_value=0.01, max_value=0.4),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_fastmc_fast_tier_within_bounds(system, draws, sigma, seed):
+    exact = sample_re_costs(system, draws=draws, sigma=sigma, seed=seed)
+    for precision, tol, _eps in TIERS:
+        fast = sample_re_costs(
+            system, draws=draws, sigma=sigma, seed=seed, precision=precision
+        )
+        assert_sequences_close(
+            f"fastmc[{precision}]", "re_total", fast, exact, tol
+        )
+
+
+@settings(max_examples=200)
+@given(space=design_spaces())
+def test_search_fast_tier_within_bounds(space):
+    exact = run_search(space)
+    for precision, tol, eps in TIERS:
+        fast = run_search(space, precision=precision)
+        assert_bit_equal(
+            f"run_search[{precision}]", "n_candidates",
+            fast.n_candidates, exact.n_candidates,
+        )
+        assert_frontier_preserved(
+            f"run_search[{precision}]", exact, fast, eps
+        )
+        shared = {c.index: c for c in exact.frontier}
+        for candidate in fast.frontier:
+            match = shared.get(candidate.index)
+            if match is None:
+                continue  # tolerance tie, already vetted above
+            assert_sequences_close(
+                f"run_search[{precision}]",
+                f"frontier_metrics[#{candidate.index}]",
+                [getattr(candidate, metric) for metric in _SEARCH_METRICS],
+                [getattr(match, metric) for metric in _SEARCH_METRICS],
+                tol,
+            )
+
+
+@settings(max_examples=200)
+@given(portfolio=portfolios(),
+       scales=st.lists(st.floats(min_value=0.1, max_value=10.0),
+                       min_size=1, max_size=3))
+def test_portfolio_fast_tier_within_bounds(portfolio, scales):
+    engine = PortfolioEngine(CostEngine())
+    exact = engine.volume_solve(portfolio, scales)
+    for precision, tol, _eps in TIERS:
+        fast = engine.volume_solve(portfolio, scales, precision=precision)
+        for index in range(len(exact.scales)):
+            assert_sequences_close(
+                f"volume_solve[{precision}]", f"totals[{index}]",
+                fast.point_totals(index), exact.point_totals(index), tol,
+            )
+            assert_sequences_close(
+                f"volume_solve[{precision}]", f"average[{index}]",
+                [fast.point_average(index)], [exact.point_average(index)],
+                tol,
+            )
+
+
+@given(system=systems(), precision=st.sampled_from(("fast", "fast32")))
+@settings(max_examples=50)
+def test_fast_tier_degrades_gracefully_without_numpy(system, precision):
+    """No numpy -> the exact scalar path, never an error (satellite:
+    the no-numpy CI job re-asserts this against a real numpy-less
+    interpreter)."""
+    exact = sample_re_costs(system, draws=4, seed=3)
+    saved = fastmc._np, fasttier._np
+    fastmc._np = fasttier._np = None
+    try:
+        degraded = sample_re_costs(
+            system, draws=4, seed=3, precision=precision
+        )
+    finally:
+        fastmc._np, fasttier._np = saved
+    assert_sequences_equal(
+        f"fastmc[{precision}] no-numpy fallback", "re_total", degraded, exact
+    )
+
+
+@given(portfolio=portfolios())
+@settings(max_examples=25)
+def test_portfolio_fast_tier_degrades_gracefully_without_numpy(portfolio):
+    engine = PortfolioEngine(CostEngine())
+    exact = engine.volume_solve(portfolio, (1.0, 2.0))
+    saved = fastportfolio._np, fasttier._np
+    fastportfolio._np = fasttier._np = None
+    try:
+        degraded = engine.volume_solve(
+            portfolio, (1.0, 2.0), precision="fast"
+        )
+    finally:
+        fastportfolio._np, fasttier._np = saved
+    for index in range(2):
+        assert_sequences_equal(
+            "volume_solve[fast] no-numpy fallback", f"totals[{index}]",
+            degraded.point_totals(index), exact.point_totals(index),
+        )
+
+
+def test_invalid_precision_rejected_everywhere():
+    with pytest.raises(InvalidParameterError):
+        fasttier.validate_precision("float16")
+    with pytest.raises(InvalidParameterError):
+        CostEngine(precision="quick")
+    with pytest.raises(InvalidParameterError):
+        PortfolioEngine(precision="quick")
+
+
+@given(system=systems())
+@settings(max_examples=10)
+def test_monte_carlo_cost_rejects_invalid_precision(system):
+    with pytest.raises(InvalidParameterError):
+        monte_carlo_cost(system, draws=2, precision="double")

@@ -1,0 +1,61 @@
+"""JSON round-trips: spec -> json -> spec -> identical results.
+
+Scenario documents are the repo's data-not-code interface; a lossy
+serializer silently changes what a committed JSON file *means*.  These
+properties hold that a round-tripped document is equal as a value and —
+for executable studies — produces bit-identical results.
+"""
+
+import json
+
+from hypothesis import given
+
+from checks import assert_sequences_equal
+from repro.scenario.runner import ScenarioRunner
+from repro.scenario.spec import (
+    ScenarioSpec,
+    scenario_from_dict,
+    scenario_to_dict,
+    study_from_dict,
+    study_to_dict,
+)
+from strategies import montecarlo_studies, scenario_specs, search_studies
+
+
+def _through_json(spec: ScenarioSpec) -> ScenarioSpec:
+    return scenario_from_dict(json.loads(json.dumps(scenario_to_dict(spec))))
+
+
+@given(spec=scenario_specs())
+def test_scenario_spec_round_trips_as_value(spec):
+    assert _through_json(spec) == spec
+
+
+@given(spec=scenario_specs())
+def test_round_trip_is_idempotent(spec):
+    once = _through_json(spec)
+    assert _through_json(once) == once
+
+
+@given(study=montecarlo_studies())
+def test_montecarlo_study_round_trips(study):
+    assert study_from_dict(study_to_dict(study)) == study
+
+
+@given(study=search_studies())
+def test_search_study_round_trips(study):
+    recovered = study_from_dict(study_to_dict(study))
+    assert recovered == study
+    assert recovered.space() == study.space()
+
+
+@given(study=montecarlo_studies())
+def test_round_tripped_scenario_runs_identically(study):
+    spec = ScenarioSpec(name="roundtrip", studies=(study,))
+    original = ScenarioRunner().run(spec)
+    recovered = ScenarioRunner().run(_through_json(spec))
+    samples = original.result(study.name).data.samples
+    recovered_samples = recovered.result(study.name).data.samples
+    assert_sequences_equal(
+        "scenario round trip", "mc_samples", samples, recovered_samples
+    )
