@@ -46,6 +46,13 @@ replace and records the throughput trajectory to ``BENCH_engine.json``:
   swaps the exact tier's per-element libm pow loop for SIMD
   ``np.power`` plus reassociated reductions.  Acceptance: >= 1.5x,
   gated by the tier's 1e-9 relative-error contract (PERFORMANCE.md).
+* **Cost service throughput** — N ``POST /v1/cost`` requests against
+  an in-process ``repro.service`` server (distinct design points,
+  response cache off, warm engine) versus fresh ``python -m repro
+  cost`` subprocesses, each paying interpreter start-up, imports and
+  cold caches.  The first warm response is asserted bit-identical to
+  the engine-less evaluation path before any rate is reported.
+  Acceptance: >= 20x.
 * **Portfolio fast tier** — the multi-scale portfolio solve at
   ``precision="exact"`` versus ``precision="fast"`` on the synthetic
   thousand-system portfolio: strictly-sequential ``add.accumulate``
@@ -100,6 +107,7 @@ PRIOR_DRAWS_SPEEDUP_FLOOR = 5.0
 SEARCH_SPEEDUP_FLOOR = 20.0
 MC_FAST_TIER_SPEEDUP_FLOOR = 1.5
 PORTFOLIO_FAST_TIER_SPEEDUP_FLOOR = 1.2
+REQUESTS_PER_SEC_SPEEDUP_FLOOR = 20.0
 
 #: Relative-error bound the fast-tier cases must stay inside before any
 #: speedup is reported — the ``precision="fast"`` contract bound
@@ -116,6 +124,7 @@ FLOORS = {
     "search_space": SEARCH_SPEEDUP_FLOOR,
     "monte_carlo_fast_tier": MC_FAST_TIER_SPEEDUP_FLOOR,
     "portfolio_fast_tier": PORTFOLIO_FAST_TIER_SPEEDUP_FLOOR,
+    "requests_per_sec": REQUESTS_PER_SEC_SPEEDUP_FLOOR,
 }
 
 #: CI gate floors for the smoke shapes (``--gate``), recorded in
@@ -132,6 +141,7 @@ SMOKE_FLOORS = {
     "search_space": 5.0,
     "monte_carlo_fast_tier": 1.3,
     "portfolio_fast_tier": 1.1,
+    "requests_per_sec": 5.0,
 }
 
 
@@ -646,6 +656,83 @@ def _portfolio_fast_tier_case(n_systems: int, points: int) -> dict:
     }
 
 
+def _requests_per_sec_case(requests: int, cold_runs: int) -> dict:
+    """Warm HTTP service vs cold per-request CLI processes.
+
+    The service's whole value claim in one number: ``requests`` POSTs
+    to an in-process ``repro.service`` server (distinct areas, response
+    cache disabled — every request is a real evaluation on the warm
+    engine) versus ``cold_runs`` fresh ``python -m repro cost``
+    subprocesses, each paying interpreter start-up, imports and empty
+    caches.  The first warm response is asserted bit-identical to an
+    engine-less :func:`repro.service.state.evaluate_cost` before any
+    rate is reported.
+    """
+    import json as _json
+    import os
+    import subprocess
+    import urllib.request
+
+    from repro.service.app import ServerThread
+    from repro.service.schemas import CostRequest, CostResult
+    from repro.service.state import evaluate_cost
+
+    def post(url: str, request: CostRequest) -> CostResult:
+        data = _json.dumps(request.to_dict()).encode("utf-8")
+        with urllib.request.urlopen(
+            urllib.request.Request(
+                url + "/v1/cost",
+                data=data,
+                headers={"Content-Type": "application/json"},
+            ),
+            timeout=60,
+        ) as response:
+            return CostResult.from_dict(_json.loads(response.read())["result"])
+
+    areas = [300.0 + index for index in range(requests)]
+    with ServerThread(cache_size=0) as url:
+        # Warm-up: lazy imports, engine caches, connection machinery.
+        first = post(url, CostRequest(area=areas[0], chiplets=4,
+                                      integration="2.5d"))
+        oracle = evaluate_cost(
+            CostRequest(area=areas[0], chiplets=4, integration="2.5d")
+        )
+        assert first == oracle, "service/CLI cost parity broken"
+
+        start = time.perf_counter()
+        for area in areas:
+            post(url, CostRequest(area=area, chiplets=4,
+                                  integration="2.5d"))
+        warm_s = time.perf_counter() - start
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    for index in range(cold_runs):
+        subprocess.run(
+            [sys.executable, "-m", "repro", "cost",
+             "--area", str(300.0 + index), "--chiplets", "4",
+             "--integration", "2.5d"],
+            check=True,
+            capture_output=True,
+            env=env,
+        )
+    cold_s = time.perf_counter() - start
+
+    warm_rate = requests / warm_s
+    cold_rate = cold_runs / cold_s
+    return {
+        "requests": requests,
+        "cold_runs": cold_runs,
+        "warm_seconds": warm_s,
+        "cold_seconds": cold_s,
+        "warm_requests_per_sec": warm_rate,
+        "cold_requests_per_sec": cold_rate,
+        "speedup": warm_rate / cold_rate,
+    }
+
+
 #: Case shapes per run mode.  ``smoke`` is the seconds-long
 #: exercise-everything run (tiny shapes — fixed costs dominate, so its
 #: speedups are meaningless and unchecked); ``gate`` is the CI
@@ -664,6 +751,7 @@ _SHAPES = {
         "search": (12, 3, 3),
         "mc_fast_draws": 2000,
         "portfolio_fast": (100, 10),
+        "service": (5, 1),
     },
     "gate": {
         "rounds": 3,
@@ -675,6 +763,7 @@ _SHAPES = {
         "search": (200, 6, 10),
         "mc_fast_draws": 50_000,
         "portfolio_fast": (1000, 50),
+        "service": (25, 2),
     },
     "full": {
         "rounds": 5,
@@ -693,6 +782,7 @@ _SHAPES = {
         # speedup is the steady-state pow-column headroom.
         "mc_fast_draws": 100_000,
         "portfolio_fast": (1000, 50),
+        "service": (100, 3),
     },
 }
 
@@ -710,6 +800,7 @@ def run_bench(smoke: bool = False, mode: str | None = None) -> dict:
     search_shape = shapes["search"]
     mc_fast_draws = shapes["mc_fast_draws"]
     portfolio_fast_shape = shapes["portfolio_fast"]
+    service_shape = shapes["service"]
 
     mc = max(
         (_monte_carlo_case(mc_draws) for _ in range(rounds)),
@@ -746,6 +837,9 @@ def run_bench(smoke: bool = False, mode: str | None = None) -> dict:
         ),
         key=lambda case: case["speedup"],
     )
+    # One round: cold-process baselines are expensive, and subprocess
+    # start-up noise dwarfs round-to-round engine variance anyway.
+    service = _requests_per_sec_case(*service_shape)
     return {
         "bench": "bench_perf_engine",
         "mode": mode,
@@ -758,6 +852,7 @@ def run_bench(smoke: bool = False, mode: str | None = None) -> dict:
         "search_space": search,
         "monte_carlo_fast_tier": mc_fast,
         "portfolio_fast_tier": portfolio_fast,
+        "requests_per_sec": service,
         "floors": dict(FLOORS),
         "smoke_floors": dict(SMOKE_FLOORS),
     }
@@ -772,6 +867,7 @@ def _report(results: dict) -> str:
     search = results["search_space"]
     mc_fast = results["monte_carlo_fast_tier"]
     portfolio_fast = results["portfolio_fast_tier"]
+    service = results["requests_per_sec"]
     return "\n".join(
         [
             f"engine perf bench ({results['mode']})",
@@ -809,6 +905,10 @@ def _report(results: dict) -> str:
             f"fast {portfolio_fast['fast_systems_per_sec']:>12.0f}/s   "
             f"speedup {portfolio_fast['speedup']:.1f}x  "
             f"(rel err {portfolio_fast['max_rel_err']:.1e})",
+            f"  cost service    {service['requests']:>6} reqs    "
+            f"cold {service['cold_requests_per_sec']:>10.1f}/s   "
+            f"warm {service['warm_requests_per_sec']:>12.1f}/s   "
+            f"speedup {service['speedup']:.1f}x",
         ]
     )
 

@@ -112,6 +112,7 @@ from repro.explore import (
 )
 from repro.engine import (
     CostEngine,
+    EngineOverrides,
     PortfolioEngine,
     cached_die_cost,
     default_engine,
@@ -137,6 +138,14 @@ from repro.scenario import (
 )
 from repro.search import DesignSpace, SearchResult, run_search
 from repro.analysis import AnalysisReport, analyze_paths, all_rule_ids
+from repro.service import (
+    CostRequest,
+    CostResult,
+    ScenarioRequest,
+    ScenarioRunResult,
+    SearchRequest,
+    SearchRunResult,
+)
 
 __version__ = "1.0.0"
 
@@ -224,6 +233,7 @@ __all__ = [
     "moore_limit_proximity",
     # engine
     "CostEngine",
+    "EngineOverrides",
     "PortfolioEngine",
     "cached_die_cost",
     "default_engine",
@@ -252,4 +262,11 @@ __all__ = [
     "AnalysisReport",
     "analyze_paths",
     "all_rule_ids",
+    # service API
+    "CostRequest",
+    "CostResult",
+    "ScenarioRequest",
+    "ScenarioRunResult",
+    "SearchRequest",
+    "SearchRunResult",
 ]

@@ -42,7 +42,7 @@ LAYERS: dict[str, int] = {
     # model core + leaf utilities
     "core": 0, "process": 0, "wafer": 0, "yieldmodel": 0, "packaging": 0,
     "d2d": 0, "reuse": 0, "reporting": 0, "data": 0, "errors": 0,
-    "ioutil": 0,
+    "ioutil": 0, "canon": 0,
     # registries & config
     "registry": 1, "config": 1,
     # batching engine
@@ -53,8 +53,9 @@ LAYERS: dict[str, int] = {
     "scenario": 4,
     # scenario-consuming services and dev tooling
     "corpus": 5, "analysis": 5,
-    # interfaces
-    "cli": 6, "__main__": 6,
+    # interfaces (the CLI imports the service layer sideways; the
+    # service layer never imports the CLI)
+    "service": 6, "cli": 6, "__main__": 6,
 }
 
 #: Documented leaf-module exceptions (docs/ARCHITECTURE.md): pure data

@@ -1,0 +1,41 @@
+"""Canonical JSON serialization — the repo's one value-keying primitive.
+
+:func:`stable_json` started life in ``repro.reuse.keys`` as the
+serialization behind value-based portfolio design keys, was borrowed by
+the corpus result store for its content addresses
+(``repro.corpus.hashing``), and now also keys the service layer's
+response cache (``repro.service.cache``).  Three consumers across three
+layers means it belongs in a neutral leaf module: this one ranks with
+the model core in the layering map (``repro.analysis.rules.layering``),
+so any layer may import it without bending the import-direction rule.
+
+The contract: two value-equal JSON-ready payloads always produce the
+same string — sorted keys, compact separators, non-ASCII preserved —
+so hashes of the output are stable content addresses across processes
+and platforms.
+
+``repro.reuse.keys`` re-exports :func:`stable_json` for existing
+callers.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def stable_json(value: object) -> str:
+    """Canonical JSON of a JSON-ready value: sorted keys, compact
+    separators, non-ASCII preserved.
+
+    The value-keying serialization shared by portfolio design keys
+    (``repro.reuse.keys``), the corpus result store
+    (``repro.corpus.hashing``) and the service response cache
+    (``repro.service.cache``): two value-equal payloads always produce
+    the same string, so hashes of it are stable content addresses.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+__all__ = ["stable_json"]

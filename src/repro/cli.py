@@ -15,6 +15,7 @@ Subcommands::
     corpus run FILE           run a scenario corpus against a result store
     corpus status FILE        per-study state of a corpus run's manifest
     lint [PATH ...]           run the contract linter (docs/ANALYSIS.md)
+    serve                     run the cost model as a warm HTTP service
 
 ``corpus run`` exit codes: 0 = every unit completed, 3 = partial
 failure (failed units recorded in the manifest), 4 = store corruption
@@ -32,8 +33,6 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.re_cost import compute_re_cost
-from repro.core.total import compute_total_cost
 from repro.errors import ChipletActuaryError
 from repro.experiments.common import (
     MULTICHIP_TECH_NAMES,
@@ -179,28 +178,36 @@ def _die_cost_override(args: argparse.Namespace, context: str):
 
 
 def _cmd_cost(args: argparse.Namespace) -> int:
-    node = get_node(args.node)
-    if args.integration == "soc":
-        system = soc_reference(args.area, node, quantity=args.quantity)
-    else:
-        system = partition_monolith(
-            args.area,
-            node,
-            args.chiplets,
-            _integration(args.integration),
-            d2d_fraction=args.d2d,
-            quantity=args.quantity,
-        )
-    re = compute_re_cost(system, die_cost_fn=_die_cost_override(args, "cost"))
-    total = compute_total_cost(system, re_cost=re)
-    table = Table(["component", "USD per unit"], title=f"Cost of {system.name}")
-    for name, value in re.as_dict().items():
-        table.add_row([f"RE {name}", value])
-    table.add_row(["RE total", re.total])
-    for name, value in total.amortized_nre.as_dict().items():
-        table.add_row([f"NRE {name} (amortized)", value])
-    table.add_row(["total per unit", total.total])
-    print(table.render())
+    # Routed through the service-layer contract, so `repro cost` and
+    # POST /v1/cost are the same evaluation and the same table —
+    # parity by construction (tools/service_smoke.py holds the line).
+    from repro.service.schemas import CostRequest, cost_table
+    from repro.service.state import evaluate_cost
+
+    request = CostRequest(
+        area=args.area,
+        node=args.node,
+        integration=args.integration,
+        chiplets=args.chiplets,
+        d2d_fraction=args.d2d,
+        quantity=args.quantity,
+        yield_model=args.yield_model or "",
+        wafer_geometry=args.wafer_geometry or "",
+    )
+    print(cost_table(evaluate_cost(request)).render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        cache_size=args.cache_size,
+    )
     return 0
 
 
@@ -848,6 +855,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="result store directory the corpus was run against",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the cost model as a warm HTTP service (docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port; 0 picks a free one (default: 8321)")
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="most cost requests coalesced into one engine batch "
+        "(default: 32)",
+    )
+    serve.add_argument(
+        "--max-wait", type=float, default=0.005,
+        help="seconds the batcher waits for tick-mates after the first "
+        "request (default: 0.005)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="response-cache entries; 0 disables caching (default: 1024)",
+    )
+
     return parser
 
 
@@ -865,6 +895,7 @@ _COMMANDS = {
     "portfolio": _cmd_portfolio,
     "corpus": _cmd_corpus,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
 }
 
 

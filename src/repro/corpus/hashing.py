@@ -20,8 +20,9 @@ by two SHA-256 digests:
     changes this hash and therefore invalidates every cached result —
     the store can never serve rows priced under a different catalog.
 
-Both reuse the value-keying idiom of :mod:`repro.reuse.keys`
-(:func:`~repro.reuse.keys.stable_json`): hash the canonical JSON of a
+Both reuse the value-keying idiom of :mod:`repro.canon`
+(:func:`~repro.canon.stable_json`, shared with the portfolio design
+keys and the service response cache): hash the canonical JSON of a
 value, never object identity.
 """
 
@@ -30,7 +31,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Mapping
 
-from repro.reuse.keys import stable_json
+from repro.canon import stable_json
 
 #: Scenario sections that scope registry entries (hashed into spec_hash).
 SECTION_KEYS = (

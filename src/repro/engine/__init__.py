@@ -35,6 +35,8 @@ _EXPORTS = {
     "PackagingAffine": "repro.engine.packaging_affine",
     "linearize_packaging": "repro.engine.packaging_affine",
     "CostEngine": "repro.engine.costengine",
+    "EngineOverrides": "repro.engine.overrides",
+    "NO_OVERRIDES": "repro.engine.overrides",
     "GridPoint": "repro.engine.costengine",
     "GridResult": "repro.engine.costengine",
     "default_engine": "repro.engine.costengine",

@@ -31,6 +31,7 @@ from repro.core.re_cost import compute_re_cost
 from repro.core.system import System
 from repro.core.total import compute_total_cost
 from repro.wafer.diecache import cached_die_cost
+from repro.engine.overrides import EngineOverrides, coalesce
 from repro.engine.packaging_affine import PackagingAffine, linearize_packaging
 from repro.errors import InvalidParameterError
 from repro.explore.sweep import Sweep, SweepPoint
@@ -211,6 +212,7 @@ class CostEngine:
         self,
         system: System,
         die_cost_fn: Callable | None = None,
+        overrides: EngineOverrides | None = None,
     ) -> RECost:
         """Per-unit RE cost; numerically identical to
         :func:`repro.core.re_cost.compute_re_cost`.
@@ -228,7 +230,16 @@ class CostEngine:
                 reach every evaluation path.  The affine packaging
                 decomposition still applies (it is a function of the
                 packager and chip areas only, not of die prices).
+            overrides: The consolidated form of the same plumbing — a
+                :class:`~repro.engine.overrides.EngineOverrides` whose
+                ``die_cost_fn`` or ``yield_model`` / ``wafer_geometry``
+                names select the die pricing (mutually exclusive with
+                the legacy kwarg).
         """
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="evaluate_re")
         affine = self._packaging_affine(system)
         return compute_re_cost(
             system,
@@ -241,10 +252,16 @@ class CostEngine:
         system: System,
         quantity: float | None = None,
         die_cost_fn: Callable | None = None,
+        overrides: EngineOverrides | None = None,
     ) -> TotalCost:
         """Per-unit total (RE + amortized NRE), delegating to
         :func:`repro.core.total.compute_total_cost` with the engine's
-        cached RE evaluation (optionally under a die-cost override)."""
+        cached RE evaluation (optionally under a die-cost override,
+        spelled either way — see :meth:`evaluate_re`)."""
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="evaluate_total")
         return compute_total_cost(
             system,
             quantity=quantity,
@@ -259,6 +276,7 @@ class CostEngine:
         seed: int = 0,
         die_cost_fn: Callable | None = None,
         precision: str | None = None,
+        overrides: EngineOverrides | None = None,
     ) -> list[float]:
         """Closed-form Monte-Carlo RE samples under defect uncertainty.
 
@@ -271,19 +289,23 @@ class CostEngine:
         ``die_cost_fn`` carries registry-named yield-model /
         wafer-geometry overrides into every draw.  ``precision``
         overrides the engine's precision tier for this call (``None``:
-        the engine default).  Distribution statistics and method
+        the engine default).  ``overrides`` is the consolidated
+        spelling of both.  Distribution statistics and method
         selection live one layer up in
         :func:`repro.explore.montecarlo.monte_carlo_cost`.
         """
         from repro.engine.fastmc import sample_re_costs
 
+        resolved = coalesce(
+            overrides, die_cost_fn=die_cost_fn, precision=precision
+        )
         return sample_re_costs(
             system,
             draws=draws,
             sigma=sigma,
             seed=seed,
-            die_cost_fn=die_cost_fn,
-            precision=self.precision if precision is None else precision,
+            die_cost_fn=resolved.resolve_die_cost_fn(context="monte_carlo"),
+            precision=resolved.resolve_precision(self.precision),
         )
 
     # ------------------------------------------------------------------
@@ -297,6 +319,7 @@ class CostEngine:
         workers: int | None = None,
         backend: str | None = None,
         die_cost_fn: Callable | None = None,
+        overrides: EngineOverrides | None = None,
     ) -> list:
         """Evaluate every system; ``evaluator`` defaults to
         :meth:`evaluate_re`.
@@ -311,6 +334,8 @@ class CostEngine:
                 default RE evaluator (mutually exclusive with
                 ``evaluator``; serial/thread execution only — the bound
                 closure does not cross a process boundary).
+            overrides: Consolidated override value (mutually exclusive
+                with the legacy ``die_cost_fn`` kwarg).
 
         Process-backend caveat: with ``evaluator=None`` each worker
         process evaluates on its own process-wide default engine — a
@@ -319,6 +344,10 @@ class CostEngine:
         thread backend).  Pass a picklable evaluator to control what
         runs in the workers.
         """
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="evaluate_many")
         pool = self.workers if workers is None else workers
         kind = self.backend if backend is None else backend
         if kind not in _BACKENDS:
@@ -406,8 +435,13 @@ class CostEngine:
         evaluator: Callable[[System], Y] | None = None,
         workers: int | None = None,
         die_cost_fn: Callable | None = None,
+        overrides: EngineOverrides | None = None,
     ) -> Sweep:
         """Batched form of :func:`repro.explore.sweep.run_sweep`."""
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="sweep")
         if not values:
             raise InvalidParameterError("sweep needs at least one value")
         systems = [builder(value) for value in values]
@@ -429,8 +463,13 @@ class CostEngine:
         evaluator: Callable[[System], Y] | None = None,
         workers: int | None = None,
         die_cost_fn: Callable | None = None,
+        overrides: EngineOverrides | None = None,
     ) -> GridResult:
         """Evaluate the full ``rows x cols`` cartesian product."""
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="grid")
         if not rows or not cols:
             raise InvalidParameterError("grid needs at least one row and column")
         cells = [(row, col) for row in rows for col in cols]
@@ -458,15 +497,21 @@ class CostEngine:
         d2d_fraction: "float | object" = 0.10,
         soc_for_one: bool = True,
         die_cost_fn=None,
+        overrides: EngineOverrides | None = None,
     ) -> Sweep:
         """RE cost across partition granularities without building
         systems (``repro.engine.fastsweep``); count 1 prices the
         monolithic SoC reference unless ``soc_for_one`` is false.
-        ``die_cost_fn`` optionally replaces the engine's die pricing
-        (custom yield models / wafer geometries)."""
+        ``die_cost_fn`` (or ``overrides``) optionally replaces the
+        engine's die pricing (custom yield models / wafer
+        geometries)."""
         from repro.d2d.overhead import FractionOverhead
         from repro.engine.fastsweep import partition_re_cost, soc_re_cost
 
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="partition_sweep")
         if not chiplet_counts:
             raise InvalidParameterError("sweep needs at least one value")
         if not isinstance(d2d_fraction, FractionOverhead):
@@ -502,11 +547,16 @@ class CostEngine:
         d2d_fraction: "float | object" = 0.10,
         soc_for_one: bool = False,
         die_cost_fn=None,
+        overrides: EngineOverrides | None = None,
     ) -> GridResult:
         """Closed-form areas x counts partition grid of RE costs."""
         from repro.d2d.overhead import FractionOverhead
         from repro.engine.fastsweep import partition_re_cost, soc_re_cost
 
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="partition_grid")
         if not module_areas or not chiplet_counts:
             raise InvalidParameterError("grid needs at least one row and column")
         if not isinstance(d2d_fraction, FractionOverhead):

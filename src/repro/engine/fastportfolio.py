@@ -59,6 +59,7 @@ from repro.core.breakdown import NRECost, RECost, TotalCost
 from repro.core.system import System
 from repro.engine import fasttier
 from repro.engine.costengine import CostEngine, default_engine
+from repro.engine.overrides import EngineOverrides, coalesce  # noqa: F401
 from repro.errors import InvalidParameterError
 from repro.explore.sweep import Sweep, SweepPoint
 from repro.reuse.keys import package_design_key
@@ -561,13 +562,18 @@ class PortfolioEngine:
         self,
         portfolio: Portfolio,
         die_cost_fn: "Callable | None" = None,
+        overrides: "EngineOverrides | None" = None,
     ) -> PortfolioDecomposition:
         """The (cached) decomposition of ``portfolio``.
 
-        ``die_cost_fn`` optionally replaces the engine's die pricing
-        (registry-named yield models / wafer geometries); decompositions
-        are cached per (portfolio, override) pair.
+        ``die_cost_fn`` (or an ``overrides`` value carrying one, or
+        registry names) optionally replaces the engine's die pricing;
+        decompositions are cached per (portfolio, override) pair.
         """
+        if overrides is not None:
+            die_cost_fn = coalesce(
+                overrides, die_cost_fn=die_cost_fn
+            ).resolve_die_cost_fn(context="decompose")
         key = (id(portfolio), id(die_cost_fn))
         entry = self._decompositions.get(key)
         if entry is not None and entry[0] is portfolio and entry[1] is die_cost_fn:
@@ -585,9 +591,12 @@ class PortfolioEngine:
         portfolio: Portfolio,
         volume_scale: float = 1.0,
         die_cost_fn: "Callable | None" = None,
+        overrides: "EngineOverrides | None" = None,
     ) -> PortfolioCosts:
         """Price every member of ``portfolio`` in one batched call."""
-        return self.decompose(portfolio, die_cost_fn).evaluate(volume_scale)
+        return self.decompose(
+            portfolio, die_cost_fn, overrides=overrides
+        ).evaluate(volume_scale)
 
     def amortized_cost(self, portfolio: Portfolio, system: System) -> TotalCost:
         """Drop-in for :meth:`Portfolio.amortized_cost` (bit-identical)."""
@@ -610,17 +619,24 @@ class PortfolioEngine:
         scales: Sequence[float],
         die_cost_fn: "Callable | None" = None,
         precision: "str | None" = None,
+        overrides: "EngineOverrides | None" = None,
     ) -> PortfolioVolumeSolve:
         """Vectorized closed-form volume sweep, as dense arrays.
 
         The thousand-system front-end: one decomposition, one numpy
         solve over design x system matrices, zero cost-object
         construction.  See :class:`PortfolioVolumeSolve`.
-        ``precision`` overrides the engine default for this call.
+        ``precision`` overrides the engine default for this call;
+        ``overrides`` is the consolidated spelling of both knobs.
         """
-        return self.decompose(portfolio, die_cost_fn).solve(
+        resolved = coalesce(
+            overrides, die_cost_fn=die_cost_fn, precision=precision
+        )
+        return self.decompose(
+            portfolio, resolved.resolve_die_cost_fn(context="volume_solve")
+        ).solve(
             scales,
-            precision=self.precision if precision is None else precision,
+            precision=resolved.resolve_precision(self.precision),
         )
 
     def volume_sweep(
@@ -630,6 +646,7 @@ class PortfolioEngine:
         scales: Sequence[float],
         die_cost_fn: "Callable | None" = None,
         precision: "str | None" = None,
+        overrides: "EngineOverrides | None" = None,
     ) -> Sweep:
         """Closed-form sweep over volume scales.
 
@@ -642,7 +659,8 @@ class PortfolioEngine:
         if not scales:
             raise InvalidParameterError("sweep needs at least one value")
         solve = self.volume_solve(
-            portfolio, scales, die_cost_fn, precision=precision
+            portfolio, scales, die_cost_fn, precision=precision,
+            overrides=overrides,
         )
         points = tuple(
             SweepPoint(x=scale, value=solve.costs(index))

@@ -1,0 +1,163 @@
+"""EngineOverrides: one value object for the engine's override plumbing.
+
+Historically every batch entry point grew its own ad-hoc override
+kwargs — ``die_cost_fn`` (a ``(node, area) -> DieCost`` closure carrying
+registry-named yield models / wafer geometries) and ``precision`` (the
+fast-tier selector) threaded separately through
+``CostEngine.evaluate_re`` / ``evaluate_total`` / ``monte_carlo`` /
+``evaluate_many`` / ``sweep`` / ``grid``, ``run_search`` and
+``PortfolioEngine``.  :class:`EngineOverrides` consolidates them into a
+single frozen value accepted everywhere via an ``overrides=`` keyword,
+and additionally carries *names* (``yield_model`` / ``wafer_geometry``)
+so callers that only know registry names — the service layer, library
+users — never have to resolve a ``die_cost_fn`` closure themselves.
+
+The legacy kwargs remain as thin back-compat shims: every entry point
+folds them through :func:`coalesce`, and the equivalence tests in
+``tests/test_engine_overrides.py`` hold both spellings bit-identical.
+Passing an ``overrides`` object *and* a legacy kwarg for the same field
+is ambiguous and raises.
+
+A resolved override is memoized on the instance (frozen dataclasses
+permit ``object.__setattr__``, the ``reuse.keys`` idiom), so repeated
+engine calls under one ``EngineOverrides`` reuse one bound die-pricing
+closure — keeping the engine's identity-keyed hot caches and the
+closure's per-node model cache effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class EngineOverrides:
+    """Evaluation overrides accepted by every engine batch entry point.
+
+    Attributes:
+        die_cost_fn: Optional ``(node, area) -> DieCost`` closure
+            replacing the engine's die pricing.  Mutually exclusive
+            with the name fields below (a closure already *is* a
+            resolved pricing policy).
+        yield_model: Optional registry name of a yield-model family
+            (``repro.registry.yieldmodels``); resolved lazily through
+            :meth:`repro.config.ConfigRegistries.die_cost_fn`.
+        wafer_geometry: Optional registry name of a wafer geometry
+            (``repro.registry.geometries``).
+        precision: Optional evaluation tier (``"exact"`` | ``"fast"``
+            | ``"fast32"``, see PERFORMANCE.md "Precision tiers");
+            ``None`` keeps the consuming engine's default.
+    """
+
+    die_cost_fn: Callable | None = None
+    yield_model: str = ""
+    wafer_geometry: str = ""
+    precision: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.die_cost_fn is not None and (
+            self.yield_model or self.wafer_geometry
+        ):
+            raise InvalidParameterError(
+                "EngineOverrides: pass either a die_cost_fn closure or "
+                "yield_model/wafer_geometry names, not both"
+            )
+        if self.precision is not None:
+            from repro.engine.fasttier import validate_precision
+
+            validate_precision(self.precision)
+
+    def __bool__(self) -> bool:
+        return (
+            self.die_cost_fn is not None
+            or bool(self.yield_model)
+            or bool(self.wafer_geometry)
+            or self.precision is not None
+        )
+
+    # ------------------------------------------------------------------
+
+    def resolve_die_cost_fn(
+        self, registries: Any = None, context: str = "overrides"
+    ) -> Callable | None:
+        """The die-pricing closure these overrides select, or ``None``.
+
+        An explicit ``die_cost_fn`` wins; otherwise non-empty
+        ``yield_model`` / ``wafer_geometry`` names resolve through
+        ``registries`` (default: the global catalogs via a fresh
+        :class:`~repro.config.ConfigRegistries`) exactly like scenario
+        studies and the CLI resolve them — unknown names raise
+        :class:`~repro.errors.ConfigError` listing the available
+        entries, prefixed with ``context``.
+
+        Resolution against the *global* registries is memoized on the
+        instance, so one :class:`EngineOverrides` value keeps one bound
+        closure across calls (the closure's per-node model cache and
+        the engine's override-keyed caches stay warm).
+        """
+        if self.die_cost_fn is not None:
+            return self.die_cost_fn
+        if not self.yield_model and not self.wafer_geometry:
+            return None
+        if registries is None:
+            cached = self.__dict__.get("_resolved_global")
+            if cached is not None:
+                return cached
+            from repro.config import ConfigRegistries
+
+            resolved = ConfigRegistries().die_cost_fn(
+                self.yield_model, self.wafer_geometry, context=context
+            )
+            object.__setattr__(self, "_resolved_global", resolved)
+            return resolved
+        return registries.die_cost_fn(
+            self.yield_model, self.wafer_geometry, context=context
+        )
+
+    def resolve_precision(self, default: str = "exact") -> str:
+        """The evaluation tier these overrides select (``default`` when
+        unset)."""
+        return default if self.precision is None else self.precision
+
+
+#: The empty override set (every field at its default).
+NO_OVERRIDES = EngineOverrides()
+
+
+def coalesce(
+    overrides: EngineOverrides | None,
+    die_cost_fn: Callable | None = None,
+    precision: str | None = None,
+) -> EngineOverrides:
+    """Fold an entry point's legacy kwargs into one override value.
+
+    The back-compat shim every consolidated entry point runs first:
+    with no ``overrides`` object the legacy kwargs build one; with an
+    ``overrides`` object the legacy kwargs must stay unset (passing a
+    field both ways is ambiguous and raises
+    :class:`~repro.errors.InvalidParameterError`).
+    """
+    if overrides is None:
+        if die_cost_fn is None and precision is None:
+            return NO_OVERRIDES
+        return EngineOverrides(die_cost_fn=die_cost_fn, precision=precision)
+    if not isinstance(overrides, EngineOverrides):
+        raise InvalidParameterError(
+            f"overrides must be an EngineOverrides, "
+            f"got {type(overrides).__name__}"
+        )
+    if die_cost_fn is not None:
+        raise InvalidParameterError(
+            "pass die_cost_fn inside overrides or as a kwarg, not both"
+        )
+    if precision is not None:
+        raise InvalidParameterError(
+            "pass precision inside overrides or as a kwarg, not both"
+        )
+    return overrides
+
+
+__all__ = ["EngineOverrides", "NO_OVERRIDES", "coalesce"]

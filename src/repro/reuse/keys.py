@@ -29,9 +29,9 @@ the historical object-sharing semantics for those objects.
 
 from __future__ import annotations
 
-import json
 from typing import Hashable
 
+from repro.canon import stable_json
 from repro.core.chip import Chip
 from repro.core.module import Module
 from repro.core.package_design import PackageDesign
@@ -43,18 +43,18 @@ from repro.packaging.base import IntegrationTech
 ModuleKey = tuple
 
 
-def stable_json(value: object) -> str:
-    """Canonical JSON of a JSON-ready value: sorted keys, compact
-    separators, non-ASCII preserved.
-
-    The value-keying serialization shared by design keys (below) and the
-    corpus result store (``repro.corpus.hashing``): two value-equal
-    payloads always produce the same string, so hashes of it are stable
-    content addresses.
-    """
-    return json.dumps(
-        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
-    )
+# Canonical JSON now lives in the neutral leaf ``repro.canon`` (it
+# serves reuse, corpus *and* service); re-exported here for existing
+# callers.
+__all__ = [
+    "ModuleKey",
+    "chip_design_key",
+    "d2d_policy_key",
+    "integration_key",
+    "module_design_key",
+    "package_design_key",
+    "stable_json",
+]
 
 
 def _memoized(obj: object, attr: str, build) -> Hashable:

@@ -118,6 +118,19 @@ class ScenarioRunner:
         """Execute every study of ``spec`` in order."""
         if isinstance(spec, Mapping):
             spec = scenario_from_dict(spec)
+        return ScenarioResult(
+            scenario=spec.name, results=tuple(self.iter_run(spec))
+        )
+
+    def iter_run(self, spec: "ScenarioSpec | Mapping[str, Any]"):
+        """Yield each study's :class:`StudyResult` as it completes.
+
+        The incremental face of :meth:`run` — the service layer streams
+        NDJSON study events from it, so a long scenario's early results
+        reach the client before the last study finishes.
+        """
+        if isinstance(spec, Mapping):
+            spec = scenario_from_dict(spec)
         registries = build_registries(
             {
                 "nodes": dict(spec.nodes),
@@ -127,11 +140,8 @@ class ScenarioRunner:
                 "wafer_geometries": dict(spec.wafer_geometries),
             }
         )
-        results = tuple(
-            self.run_study(study, registries, scenario=spec.name)
-            for study in spec.studies
-        )
-        return ScenarioResult(scenario=spec.name, results=results)
+        for study in spec.studies:
+            yield self.run_study(study, registries, scenario=spec.name)
 
     def run_study(
         self,

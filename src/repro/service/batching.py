@@ -1,0 +1,186 @@
+"""Request coalescing: concurrent cost queries become one batch call.
+
+``ThreadingHTTPServer`` gives every connection its own thread.  Left
+alone, N concurrent ``POST /v1/cost`` handlers would contend for the
+engine lock one evaluation at a time.  :class:`CostBatcher` funnels
+them through a bounded queue instead: a single worker thread drains up
+to ``max_batch`` requests per tick (waiting at most ``max_wait``
+seconds for stragglers after the first arrival) and prices the whole
+tick in one :func:`repro.service.state.evaluate_cost_batch` call —
+grouped by override key, one ``CostEngine.evaluate_many`` per group.
+
+Correctness stance: the worker thread is the *only* cost-path user of
+the engine, and ``evaluate_many`` evaluates serially per item, so a
+request's result is bit-identical whether it arrived alone or sharing
+a tick with a hundred others (asserted by
+``tests/test_service_concurrency.py``).  Handlers block on a
+per-request :class:`concurrent.futures.Future`; evaluation errors
+propagate to exactly the requests that caused them — a bad design
+point in one request cannot fail its tick-mates, because a failing
+batch falls back to per-request evaluation.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import queue
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.schemas import CostRequest, CostResult
+    from repro.service.state import ServiceState
+
+#: Queue slots; submissions beyond this raise rather than buffer
+#: unboundedly (the HTTP layer maps the error to 503).
+DEFAULT_QUEUE_SIZE = 1024
+
+
+class BatcherClosed(InvalidParameterError):
+    """Raised by :meth:`CostBatcher.submit` after :meth:`close`."""
+
+
+class QueueFullError(InvalidParameterError):
+    """Raised when the bounded request queue is at capacity (the HTTP
+    layer maps this to 503, the retryable status)."""
+
+
+class CostBatcher:
+    """One worker thread coalescing cost requests into engine batches."""
+
+    def __init__(
+        self,
+        state: "ServiceState",
+        max_batch: int = 32,
+        max_wait: float = 0.005,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ):
+        if max_batch < 1:
+            raise InvalidParameterError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        if max_wait < 0:
+            raise InvalidParameterError(
+                f"max_wait must be >= 0, got {max_wait:g}"
+            )
+        self.state = state
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._closed = False
+        self.batches = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+        self._worker = threading.Thread(
+            target=self._run, name="cost-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: "CostRequest") -> "concurrent.futures.Future":
+        """Enqueue one request; the future resolves to its
+        :class:`~repro.service.schemas.CostResult`."""
+        if self._closed:
+            raise BatcherClosed("cost batcher is closed")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            self._queue.put_nowait((request, future))
+        except queue.Full:
+            raise QueueFullError(
+                "cost queue is full; retry later"
+            ) from None
+        return future
+
+    def evaluate(
+        self, request: "CostRequest", timeout: float | None = 60.0
+    ) -> "CostResult":
+        """Submit and wait — the synchronous face handlers call."""
+        return self.submit(request).result(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop the worker after draining already-queued requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> list | None:
+        """Block for the first item, then sweep stragglers for one tick.
+        Returns ``None`` on the shutdown sentinel."""
+        import time
+
+        first = self._queue.get()
+        if first is None:
+            return None
+        items = [first]
+        deadline = time.monotonic() + self.max_wait
+        while len(items) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                item = (
+                    self._queue.get_nowait()
+                    if remaining <= 0
+                    else self._queue.get(timeout=remaining)
+                )
+            except queue.Empty:
+                break
+            if item is None:
+                # Re-post the sentinel so the run loop sees it after
+                # this (final) batch completes.
+                self._queue.put(None)
+                break
+            items.append(item)
+        return items
+
+    def _run(self) -> None:
+        from repro.service.state import evaluate_cost
+
+        while True:
+            items = self._collect()
+            if items is None:
+                return
+            requests = [request for request, _future in items]
+            futures = [future for _request, future in items]
+            self.batches += 1
+            self.batched_requests += len(items)
+            self.largest_batch = max(self.largest_batch, len(items))
+            try:
+                results = self.state.evaluate_cost_batch(requests)
+            except Exception:
+                # One bad design point must not fail its tick-mates:
+                # re-price individually so each future gets exactly its
+                # own outcome.
+                for request, future in items:
+                    try:
+                        with self.state.lock:
+                            result = evaluate_cost(
+                                request, engine=self.state.engine
+                            )
+                    except Exception as error:  # noqa: BLE001
+                        future.set_exception(error)
+                    else:
+                        future.set_result(result)
+                continue
+            for future, result in zip(futures, results):
+                future.set_result(result)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "largest_batch": self.largest_batch,
+        }
+
+
+__all__ = [
+    "BatcherClosed",
+    "CostBatcher",
+    "DEFAULT_QUEUE_SIZE",
+    "QueueFullError",
+]

@@ -1,0 +1,92 @@
+"""LRU response cache keyed by canonical request value.
+
+Keys are ``(endpoint, stable_json(request.to_dict()))`` — the same
+value-keying discipline as :mod:`repro.reuse.keys` and the corpus
+result store: two requests that *mean* the same thing hit the same
+entry regardless of field order in the incoming JSON.
+
+Entries are only valid for the registry state they were computed
+under.  Every lookup carries the current
+:func:`repro.corpus.hashing.registry_hash`; when it differs from the
+hash the cache was filled under, the whole cache drops (mirroring
+``repro.corpus.store``, where a registry mutation invalidates stored
+results).  Registering a node/technology/yield model mid-flight
+therefore can never serve a stale price.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import InvalidParameterError
+
+
+class ResponseCache:
+    """Thread-safe LRU of JSON-ready response payloads."""
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 0:
+            raise InvalidParameterError(
+                f"cache maxsize must be >= 0, got {maxsize}"
+            )
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._registry_hash: str | None = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _validate_generation(self, registry_hash: str) -> None:
+        if self._registry_hash != registry_hash:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            self._registry_hash = registry_hash
+
+    def get(self, endpoint: str, canonical: str, registry_hash: str) -> Any:
+        """The cached payload for this request value, or ``None``."""
+        with self._lock:
+            self._validate_generation(registry_hash)
+            entry = self._entries.get((endpoint, canonical))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((endpoint, canonical))
+            self.hits += 1
+            return entry
+
+    def put(
+        self, endpoint: str, canonical: str, registry_hash: str, payload: Any
+    ) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._validate_generation(registry_hash)
+            key = (endpoint, canonical)
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+__all__ = ["ResponseCache"]

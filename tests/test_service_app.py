@@ -1,0 +1,259 @@
+"""HTTP end-to-end: every endpoint, CLI parity, caching, streaming,
+and error mapping — all against an in-process server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.hashing import registry_hash
+from repro.service.app import ServerThread
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.schemas import (
+    CostRequest,
+    SearchRequest,
+    cost_table,
+)
+from repro.service.state import evaluate_cost
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ServerThread() as url:
+        yield ServiceClient(url)
+
+
+def _post_raw(client: ServiceClient, path: str, body: bytes,
+              content_type: str = "application/json"):
+    request = urllib.request.Request(
+        client.base_url + path, data=body,
+        headers={"Content-Type": content_type},
+    )
+    return urllib.request.urlopen(request, timeout=30)
+
+
+class TestHealthAndRegistries:
+    def test_healthz(self, service):
+        payload = service.health()
+        assert payload["status"] == "ok"
+        assert payload["registry_hash"] == registry_hash()
+        assert payload["uptime_seconds"] >= 0
+        assert set(payload["cache"]) >= {"entries", "hits", "misses"}
+        assert set(payload["batcher"]) >= {"batches", "batched_requests"}
+
+    def test_registries_snapshot(self, service):
+        payload = service.registries()
+        assert payload["registry_hash"] == registry_hash()
+        assert set(payload["registries"]) == {
+            "nodes", "technologies", "d2d_interfaces", "yield_models",
+            "wafer_geometries",
+        }
+        assert "7nm" in payload["registries"]["nodes"]
+
+    def test_unknown_route_404(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service._json("GET", "/v1/nope")
+        assert excinfo.value.status == 404
+
+
+class TestCostEndpoint:
+    REQUEST = CostRequest(area=640.0, node="5nm", integration="2.5d",
+                          chiplets=4, quantity=1e6)
+
+    def test_bit_identical_to_library_path(self, service):
+        assert service.cost(self.REQUEST) == evaluate_cost(self.REQUEST)
+
+    def test_bit_identical_to_cli_stdout(self, service, capsys):
+        """The HTTP JSON, re-rendered through the shared table, is
+        byte-identical to `repro cost` output (floats round-trip JSON
+        exactly)."""
+        result = service.cost(self.REQUEST)
+        assert main([
+            "cost", "--area", "640", "--node", "5nm",
+            "--integration", "2.5d", "--chiplets", "4",
+            "--quantity", "1000000",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == (
+            cost_table(result).render()
+        )
+
+    def test_yield_model_override_parity(self, service):
+        request = CostRequest(area=500.0, yield_model="poisson",
+                              wafer_geometry="450mm")
+        assert service.cost(request) == evaluate_cost(request)
+
+    def test_override_changes_the_answer(self, service):
+        plain = service.cost(CostRequest(area=500.0))
+        priced = service.cost(CostRequest(area=500.0,
+                                          yield_model="poisson"))
+        assert plain.total != priced.total
+
+    def test_cached_flag_and_hit(self, service):
+        request = CostRequest(area=333.0)
+        first = service.cost_envelope(request)
+        second = service.cost_envelope(request)
+        assert first["result"] == second["result"]
+        assert second["cached"] is True
+        assert first["registry_hash"] == registry_hash()
+
+    def test_cache_keyed_by_value_not_spelling(self, service):
+        body = json.dumps({"node": "7nm", "area": 77.5}).encode()
+        with _post_raw(service, "/v1/cost", body) as response:
+            json.loads(response.read())
+        envelope = service.cost_envelope(
+            CostRequest.from_dict({"area": 77.5, "node": "7nm"})
+        )
+        assert envelope["cached"] is True
+
+    def test_unknown_field_400(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service._json("POST", "/v1/cost", {"area": 1, "bogus": 2})
+        assert excinfo.value.status == 400
+        assert "bogus" in str(excinfo.value)
+
+    def test_unknown_node_400(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.cost(CostRequest(area=100.0, node="3nm-imaginary"))
+        assert excinfo.value.status == 400
+
+    def test_invalid_json_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(service, "/v1/cost", b"{not json")
+        assert excinfo.value.code == 400
+
+    def test_missing_body_400(self, service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post_raw(service, "/v1/cost", b"")
+        assert excinfo.value.code == 400
+
+
+SCENARIO_DOC = {
+    "name": "service-app-test",
+    "description": "sweep + figure over the built-in registries",
+    "studies": [
+        {
+            "kind": "partition_sweep",
+            "name": "granularity",
+            "module_area": 400,
+            "node": "7nm",
+            "technology": "mcm",
+            "chiplet_counts": [1, 2, 3],
+        },
+    ],
+}
+
+
+class TestScenarioEndpoint:
+    def test_matches_cli_run(self, service, capsys, tmp_path):
+        result = service.scenario(SCENARIO_DOC)
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(SCENARIO_DOC))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        header, _, body = out.partition("\n\n")
+        assert header == (
+            "Scenario: service-app-test — sweep + figure over the "
+            "built-in registries"
+        )
+        assert body.strip() == result.render().strip()
+
+    def test_study_filter(self, service):
+        result = service.scenario(SCENARIO_DOC, studies=("granularity",))
+        assert [s.name for s in result.studies] == ["granularity"]
+
+    def test_rows_survive_the_wire(self, service):
+        result = service.scenario(SCENARIO_DOC)
+        rows = result.studies[0].rows
+        assert rows and {"chiplets"} <= set(rows[0])
+
+    def test_stream_events(self, service):
+        events = list(service.scenario_events(SCENARIO_DOC))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "scenario"
+        assert kinds[-1] == "end"
+        assert "study" in kinds and "row" in kinds
+        studies = [e for e in events if e["event"] == "study"]
+        assert studies[0]["name"] == "granularity"
+        assert events[-1]["studies"] == len(studies)
+        assert events[-1]["registry_hash"] == registry_hash()
+
+    def test_stream_matches_non_stream(self, service):
+        result = service.scenario(SCENARIO_DOC)
+        events = list(service.scenario_events(SCENARIO_DOC))
+        streamed_text = [
+            event["text"] for event in events if event["event"] == "study"
+        ]
+        assert streamed_text == [s.text for s in result.studies]
+        streamed_rows = [
+            event["row"] for event in events if event["event"] == "row"
+        ]
+        assert streamed_rows == [
+            dict(row) for study in result.studies for row in study.rows
+        ]
+
+    def test_bad_document_400(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.scenario({"name": "x", "studies": [{"kind": "nope"}]})
+        assert excinfo.value.status == 400
+
+
+class TestSearchEndpoint:
+    SPACE = {
+        "module_areas": [200, 400, 600],
+        "nodes": ["7nm"],
+        "technologies": ["mcm", "info"],
+        "chiplet_counts": [2, 3],
+        "d2d_fractions": [0.1],
+    }
+
+    def test_matches_run_search(self, service):
+        from repro.search.engine import candidate_rows, run_search
+        from repro.search.space import space_from_dict
+
+        request = SearchRequest.from_dict({"space": self.SPACE})
+        result = service.search(request)
+        oracle = run_search(space_from_dict(self.SPACE))
+        assert result.n_candidates == oracle.n_candidates
+        assert result.objectives == oracle.objectives
+        assert [dict(row) for row in result.rows] == candidate_rows(oracle)
+
+    def test_overrides_change_the_answer(self, service):
+        plain = service.search(SearchRequest.from_dict({"space": self.SPACE}))
+        priced = service.search(
+            SearchRequest.from_dict(
+                {"space": self.SPACE, "yield_model": "poisson"}
+            )
+        )
+        assert plain.rows != priced.rows
+
+    def test_unknown_override_name_400(self, service):
+        with pytest.raises(ServiceError) as excinfo:
+            service.search(
+                SearchRequest.from_dict(
+                    {"space": self.SPACE, "yield_model": "no-such-model"}
+                )
+            )
+        assert excinfo.value.status == 400
+
+
+class TestCacheInvalidation:
+    def test_registry_mutation_drops_the_cache(self):
+        from repro.registry.nodes import node_registry, register_node
+
+        with ServerThread() as url:
+            client = ServiceClient(url)
+            request = CostRequest(area=250.0)
+            assert client.cost_envelope(request)["cached"] is False
+            assert client.cost_envelope(request)["cached"] is True
+            spec = dict(client.registries()["registries"]["nodes"]["7nm"])
+            spec["name"] = "7nm-cache-test"
+            register_node("7nm-cache-test", spec)
+            try:
+                envelope = client.cost_envelope(request)
+                # Same design point, new registry generation: recomputed.
+                assert envelope["cached"] is False
+                assert envelope["registry_hash"] == registry_hash()
+            finally:
+                node_registry().unregister("7nm-cache-test")

@@ -1,0 +1,185 @@
+"""Concurrency contract: batched, interleaved, threaded evaluation is
+bit-identical to sequential evaluation, with no cross-talk between
+override sets and per-request error isolation."""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.errors import InvalidParameterError, UnknownNodeError
+from repro.service.batching import BatcherClosed, CostBatcher
+from repro.service.schemas import CostRequest
+from repro.service.state import (
+    ServiceState,
+    evaluate_cost,
+    evaluate_cost_batch,
+)
+
+
+def _workload() -> list[CostRequest]:
+    """A mix that must not cross-contaminate: three override sets
+    (default pricing, poisson, poisson+450mm) interleaved over
+    distinct design points."""
+    requests = []
+    for index in range(10):
+        area = 200.0 + 37.0 * index
+        requests.append(CostRequest(area=area))
+        requests.append(
+            CostRequest(area=area, chiplets=3, integration="mcm",
+                        yield_model="poisson")
+        )
+        requests.append(
+            CostRequest(area=area, chiplets=4, integration="2.5d",
+                        yield_model="poisson", wafer_geometry="450mm")
+        )
+    return requests
+
+
+class TestBatchEquivalence:
+    def test_batch_bit_identical_to_sequential(self):
+        requests = _workload()
+        state = ServiceState()
+        sequential = [evaluate_cost(request) for request in requests]
+        batched = evaluate_cost_batch(requests, state.engine)
+        assert batched == sequential
+
+    def test_override_groups_do_not_cross_talk(self):
+        """The same area priced under three override sets must give
+        three different answers, and each must match its own
+        sequential oracle — a grouping bug would leak one group's
+        die pricing into another."""
+        area = 512.0
+        trio = [
+            CostRequest(area=area),
+            CostRequest(area=area, yield_model="poisson"),
+            CostRequest(area=area, yield_model="poisson",
+                        wafer_geometry="450mm"),
+        ]
+        state = ServiceState()
+        batched = evaluate_cost_batch(trio, state.engine)
+        totals = [result.total for result in batched]
+        assert len(set(totals)) == 3
+        for request, result in zip(trio, batched):
+            assert result == evaluate_cost(request)
+
+
+class TestThreadedBatcher:
+    def test_threaded_stress_bit_identical(self):
+        requests = _workload() * 4
+        oracle = {
+            request: evaluate_cost(request) for request in set(requests)
+        }
+        state = ServiceState()
+        # A sizeable max_wait forces real coalescing under the thread
+        # storm below.
+        batcher = CostBatcher(state, max_batch=16, max_wait=0.05)
+        try:
+            barrier = threading.Barrier(8)
+            failures: list[str] = []
+
+            def worker(chunk: list[CostRequest]) -> None:
+                barrier.wait()
+                for request in chunk:
+                    result = batcher.evaluate(request, timeout=60.0)
+                    if result != oracle[request]:
+                        failures.append(
+                            f"mismatch for area={request.area}"
+                        )
+
+            chunks = [requests[start::8] for start in range(8)]
+            threads = [
+                threading.Thread(target=worker, args=(chunk,))
+                for chunk in chunks
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not failures
+            stats = batcher.stats()
+            assert stats["batched_requests"] == len(requests)
+            # The storm must actually have coalesced: fewer engine
+            # batches than requests.
+            assert stats["batches"] < len(requests)
+            assert stats["largest_batch"] > 1
+        finally:
+            batcher.close()
+
+    def test_error_isolation(self):
+        """One bad design point fails only its own future; tick-mates
+        still resolve (via the per-request fallback)."""
+        state = ServiceState()
+        batcher = CostBatcher(state, max_batch=8, max_wait=0.05)
+        try:
+            good = CostRequest(area=300.0)
+            bad = CostRequest(area=300.0, node="nope-nm")
+            futures = [
+                batcher.submit(good),
+                batcher.submit(bad),
+                batcher.submit(CostRequest(area=301.0)),
+            ]
+            assert futures[0].result(timeout=30) == evaluate_cost(good)
+            with pytest.raises(UnknownNodeError):
+                futures[1].result(timeout=30)
+            assert futures[2].result(timeout=30) == evaluate_cost(
+                CostRequest(area=301.0)
+            )
+        finally:
+            batcher.close()
+
+    def test_submit_after_close(self):
+        batcher = CostBatcher(ServiceState(), max_wait=0.0)
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit(CostRequest(area=100.0))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CostBatcher(ServiceState(), max_batch=0)
+        with pytest.raises(InvalidParameterError):
+            CostBatcher(ServiceState(), max_wait=-1.0)
+
+
+class TestResponseCacheIsolation:
+    def test_no_cross_talk_between_override_sets(self):
+        """Identical areas under different overrides are different
+        cache keys — a collision would serve the wrong price."""
+        from repro.service.cache import ResponseCache
+
+        cache = ResponseCache(maxsize=8)
+        plain = CostRequest(area=700.0)
+        priced = CostRequest(area=700.0, yield_model="poisson")
+        cache.put("cost", plain.canonical(), "h", {"total": 1.0})
+        cache.put("cost", priced.canonical(), "h", {"total": 2.0})
+        assert cache.get("cost", plain.canonical(), "h") == {"total": 1.0}
+        assert cache.get("cost", priced.canonical(), "h") == {"total": 2.0}
+
+    def test_registry_hash_invalidates(self):
+        from repro.service.cache import ResponseCache
+
+        cache = ResponseCache(maxsize=8)
+        request = CostRequest(area=700.0)
+        cache.put("cost", request.canonical(), "gen-1", {"total": 1.0})
+        assert cache.get("cost", request.canonical(), "gen-2") is None
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        from repro.service.cache import ResponseCache
+
+        cache = ResponseCache(maxsize=2)
+        for index in range(3):
+            cache.put("cost", f"k{index}", "h", index)
+        assert cache.get("cost", "k0", "h") is None
+        assert cache.get("cost", "k2", "h") == 2
+
+
+def test_futures_module_contract():
+    """submit() returns a real concurrent.futures.Future."""
+    batcher = CostBatcher(ServiceState(), max_wait=0.0)
+    try:
+        future = batcher.submit(CostRequest(area=123.0))
+        assert isinstance(future, concurrent.futures.Future)
+        assert future.result(timeout=30).system
+    finally:
+        batcher.close()
